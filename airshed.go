@@ -1,0 +1,127 @@
+// Package airshed is a Go reproduction of the Airshed air pollution
+// modeling application and its parallel programming environment from
+// "Airshed Pollution Modeling: A Case Study in Application Development in
+// an HPF Environment" (Subhlok, Steenkiste, Stichnoth, Lieu; IPPS 1998).
+//
+// The library contains the complete system the paper describes:
+//
+//   - the Airshed urban/regional photochemical model: a multiscale
+//     quadtree grid, a 2-D SUPG-stabilised horizontal transport operator,
+//     a 35-species photochemical mechanism integrated with the
+//     Young-Boris hybrid stiff ODE scheme, vertical transport with
+//     deposition and emissions, and a replicated aerosol step, advanced
+//     with the operator splitting Lxy(dt/2) Lcz(dt) Lxy(dt/2);
+//   - an Fx/HPF-style runtime: distributed arrays with BLOCK/replicated
+//     distributions, compiler-style redistribution plans charged with the
+//     paper's cost model Ct = L*m + G*b + H*c, data-parallel loops and
+//     task parallelism on node subgroups;
+//   - virtual machine profiles of the paper's three computers (Intel
+//     Paragon, Cray T3D, Cray T3E) so that runs report the execution time
+//     the application would have taken on them;
+//   - the Section 4 analytic performance model, the Section 5 pipelined
+//     task parallelism, and the Section 6 foreign-module coupling with a
+//     PVM-parallel population exposure model.
+//
+// This top-level package is the public facade: it re-exports the types
+// and entry points a downstream user needs. The quickstart:
+//
+//	ds, _ := airshed.LA()
+//	res, _ := airshed.Run(airshed.Config{
+//		Dataset: ds,
+//		Machine: airshed.CrayT3E(),
+//		Nodes:   16,
+//		Hours:   24,
+//	})
+//	fmt.Println(res.Ledger)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-reproduction record of every figure.
+package airshed
+
+import (
+	"airshed/internal/core"
+	"airshed/internal/datasets"
+	"airshed/internal/machine"
+	"airshed/internal/perfmodel"
+)
+
+// Re-exported configuration and result types of the simulation driver.
+type (
+	// Config describes one simulation run (data set, machine, node
+	// count, hours, mode).
+	Config = core.Config
+	// Result is a completed run: the time ledger, the final
+	// concentrations, diagnostics and the replayable work trace.
+	Result = core.Result
+	// Trace is the machine-independent work record of a run; Replay
+	// prices it for any machine/node count without recomputing.
+	Trace = core.Trace
+	// ReplayResult is a priced trace.
+	ReplayResult = core.ReplayResult
+	// Mode selects data-parallel or task-parallel execution.
+	Mode = core.Mode
+	// Dataset is an assembled input configuration.
+	Dataset = datasets.Dataset
+	// MachineProfile parameterises a target computer.
+	MachineProfile = machine.Profile
+	// Prediction is the analytic performance model's estimate.
+	Prediction = perfmodel.Prediction
+)
+
+// Execution modes.
+const (
+	// DataParallel is the pure data-parallel implementation
+	// (Sections 2-4 of the paper).
+	DataParallel = core.DataParallel
+	// TaskParallel adds the Section 5 pipelined I/O task parallelism.
+	TaskParallel = core.TaskParallel
+)
+
+// Run executes a simulation: real numerics once, virtual time charged for
+// the configured machine.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Replay prices a recorded work trace on a machine profile with p nodes
+// in the given mode, without recomputing any numerics.
+func Replay(tr *Trace, prof *MachineProfile, p int, mode Mode) (*ReplayResult, error) {
+	return core.Replay(tr, prof, p, mode)
+}
+
+// Predict runs the Section 4 analytic performance model on a trace.
+func Predict(tr *Trace, prof *MachineProfile, p int) (*Prediction, error) {
+	return perfmodel.Predict(tr, prof, p)
+}
+
+// SaveTrace / LoadTrace persist work traces for later replay.
+func SaveTrace(path string, tr *Trace) error { return core.SaveTrace(path, tr) }
+
+// LoadTrace reads a trace written by SaveTrace.
+func LoadTrace(path string) (*Trace, error) { return core.LoadTrace(path) }
+
+// The paper's data sets (synthetic inputs at the paper's exact
+// dimensions; see DESIGN.md for the substitution rationale).
+var (
+	// LA is the Los Angeles basin data set: A(35, 5, 700).
+	LA = datasets.LA
+	// NE is the North-East United States data set: A(35, 5, 3328).
+	NE = datasets.NE
+	// Mini is a reduced configuration for tests and demos: A(35, 5, 52).
+	Mini = datasets.Mini
+	// LAControls is LA with scaled NOx/VOC emissions for control
+	// strategy studies.
+	LAControls = datasets.LAControls
+	// DatasetByName resolves "la", "ne" or "mini".
+	DatasetByName = datasets.ByName
+)
+
+// The paper's machines.
+var (
+	// CrayT3E uses the paper's measured communication parameters.
+	CrayT3E = machine.CrayT3E
+	// CrayT3D is just under 2x faster than the Paragon, as reported.
+	CrayT3D = machine.CrayT3D
+	// IntelParagon is the baseline machine of the evaluation.
+	IntelParagon = machine.IntelParagon
+	// MachineByName resolves "t3e", "t3d", "paragon" or "gohost".
+	MachineByName = machine.ByName
+)

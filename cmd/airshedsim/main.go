@@ -1,0 +1,125 @@
+// Command airshedsim runs one Airshed simulation: it executes the real
+// numerics of the selected data set and reports the virtual execution time
+// the run would have taken on the selected 1990s parallel computer, broken
+// down by component, exactly as the paper's experiments do.
+//
+// Usage:
+//
+//	airshedsim -dataset la -machine t3e -nodes 16 -hours 24 -mode data
+//	airshedsim -dataset mini -machine paragon -nodes 8 -mode task -snapshots out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"airshed/internal/core"
+	"airshed/internal/datasets"
+	"airshed/internal/machine"
+	"airshed/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "airshedsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataset  = flag.String("dataset", "la", "data set: la, ne or mini")
+		machName = flag.String("machine", "t3e", "machine profile: t3e, t3d, paragon, gohost")
+		nodes    = flag.Int("nodes", 16, "virtual machine size P")
+		hours    = flag.Int("hours", 24, "simulated hours")
+		modeStr  = flag.String("mode", "data", "parallelisation: data or task")
+		snapDir  = flag.String("snapshots", "", "write hourly concentration snapshots to this directory")
+		csv      = flag.Bool("csv", false, "emit the component table as CSV")
+		saveTr   = flag.String("save-trace", "", "save the work trace to this file for later replay")
+		restart  = flag.String("restart", "", "resume from this hourly snapshot file (sets the start hour and initial state)")
+	)
+	flag.Parse()
+
+	ds, err := datasets.ByName(*dataset)
+	if err != nil {
+		return err
+	}
+	prof, err := machine.ByName(*machName)
+	if err != nil {
+		return err
+	}
+	var mode core.Mode
+	switch *modeStr {
+	case "data":
+		mode = core.DataParallel
+	case "task":
+		mode = core.TaskParallel
+	default:
+		return fmt.Errorf("unknown mode %q (data or task)", *modeStr)
+	}
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("Airshed: %s data set %v, %s, %d nodes, %d hours, %s\n",
+		ds.Name, ds.Shape, prof.Name, *nodes, *hours, mode)
+	cfg := core.Config{
+		Dataset:     ds,
+		Machine:     prof,
+		Nodes:       *nodes,
+		Hours:       *hours,
+		Mode:        mode,
+		SnapshotDir: *snapDir,
+		GoParallel:  true,
+	}
+	var res *core.Result
+	if *restart != "" {
+		fmt.Printf("resuming from snapshot %s\n", *restart)
+		res, err = core.Restart(*restart, cfg)
+	} else {
+		res, err = core.Run(cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	tb := report.NewTable("Virtual execution time by component", "Component", "Seconds", "Share %")
+	total := res.Ledger.Total
+	for cat, secs := range res.Ledger.ByCat {
+		if secs == 0 {
+			continue
+		}
+		tb.AddRow(cat.String(), secs, 100*secs/total)
+	}
+	tb.AddRow("TOTAL", total, 100.0)
+	if *csv {
+		if err := tb.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := tb.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	ct := report.NewTable("Redistribution steps", "Kind", "Count", "Seconds")
+	for _, k := range core.RedistKinds() {
+		ct.AddRow(k, res.RedistCounts[k], res.CommSeconds[k])
+	}
+	if err := ct.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Printf("inner time steps: %d (runtime determined from hourly winds)\n", res.TotalSteps)
+	fmt.Printf("parallel efficiency: %.1f%% (average node busy fraction)\n", 100*res.Efficiency)
+	fmt.Printf("peak ground-level ozone: %.4f ppm at cell %d\n", res.PeakO3, res.PeakO3Cell)
+
+	if *saveTr != "" {
+		if err := core.SaveTrace(*saveTr, res.Trace); err != nil {
+			return err
+		}
+		fmt.Printf("work trace saved to %s\n", *saveTr)
+	}
+	return nil
+}

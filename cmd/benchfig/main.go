@@ -1,0 +1,107 @@
+// Command benchfig regenerates every figure of the paper's evaluation
+// (Figures 2-7, 9, 13), the Section 4.3 parameter table and the ablation
+// studies, printing tables and ASCII charts. The expensive physical runs
+// (24-hour LA and NE simulations) execute once and are cached as work
+// traces under -cache.
+//
+// Usage:
+//
+//	benchfig                  # all LA-based figures (builds the LA trace on first run)
+//	benchfig -ne              # include Figure 3 (builds the NE trace too; several minutes)
+//	benchfig -fig fig5        # one figure
+//	benchfig -ablations       # the DESIGN.md ablation studies
+//	benchfig -csv             # machine-readable tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"airshed/internal/figures"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		cacheDir  = flag.String("cache", "testdata/traces", "trace cache directory")
+		hours     = flag.Int("hours", 24, "simulated hours for the cached traces (paper: 24)")
+		figID     = flag.String("fig", "all", "figure to regenerate: fig2..fig7, fig9, fig13, params, or all")
+		includeNE = flag.Bool("ne", false, "also build the NE trace (enables Figure 3; slower first run)")
+		ablations = flag.Bool("ablations", false, "run the ablation studies instead of the paper figures")
+		csv       = flag.Bool("csv", false, "emit tables as CSV")
+		noCharts  = flag.Bool("no-charts", false, "suppress ASCII charts")
+		exper     = flag.Bool("experiments", false, "emit the EXPERIMENTS.md paper-vs-reproduction record and exit")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "benchfig: preparing traces (cache: %s, %dh)...\n", *cacheDir, *hours)
+	ctx, err := figures.Load(*cacheDir, *hours, *includeNE || *figID == "fig3" || *exper)
+	if err != nil {
+		return err
+	}
+	if *exper {
+		return ctx.WriteExperiments(os.Stdout)
+	}
+
+	var figs []*figures.Figure
+	if *ablations {
+		figs, err = ctx.Ablations()
+		if err != nil {
+			return err
+		}
+	} else if *figID == "all" {
+		figs, err = ctx.All()
+		if err != nil {
+			return err
+		}
+	} else {
+		builders := map[string]func() (*figures.Figure, error){
+			"fig2": ctx.Fig2, "fig3": ctx.Fig3, "fig4": ctx.Fig4, "fig5": ctx.Fig5,
+			"fig6": ctx.Fig6, "fig7": ctx.Fig7, "fig8": ctx.Fig8, "fig9": ctx.Fig9,
+			"fig12": ctx.Fig12, "fig13": ctx.Fig13, "params": ctx.Params,
+		}
+		b, ok := builders[*figID]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", *figID)
+		}
+		f, err := b()
+		if err != nil {
+			return err
+		}
+		figs = []*figures.Figure{f}
+	}
+
+	for _, f := range figs {
+		fmt.Printf("=== %s ===\n%s\n\n", f.ID, f.Caption)
+		for _, tb := range f.Tables {
+			if *csv {
+				if err := tb.WriteCSV(os.Stdout); err != nil {
+					return err
+				}
+				fmt.Println()
+			} else if err := tb.Write(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if !*noCharts && !*csv {
+			for _, ch := range f.Charts {
+				if err := ch.Write(os.Stdout); err != nil {
+					return err
+				}
+			}
+			for _, g := range f.Gantts {
+				if err := g.Write(os.Stdout); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

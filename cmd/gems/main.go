@@ -1,0 +1,78 @@
+// Command gems runs a declarative Airshed study — the batch equivalent of
+// the GEMS problem-solving environment through which the paper's
+// environmental scientists drive the integrated Airshed + PopExp
+// application (Section 6, Figure 10).
+//
+// Usage:
+//
+//	gems study.json
+//	gems -print-example > study.json   # a template to edit
+//
+// A study file selects the data set, machine, node count and simulated
+// hours, lists emission-control strategies (NOx/VOC scalings), and
+// optionally enables the PVM population exposure module and monitoring
+// stations. The command executes every strategy and prints the comparison
+// tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"airshed/internal/gems"
+)
+
+const exampleStudy = `{
+  "name": "LA basin control strategy study",
+  "dataset": "la",
+  "machine": "t3e",
+  "nodes": 16,
+  "hours": 12,
+  "task_parallel": false,
+  "strategies": [
+    {"name": "baseline", "nox": 1.0, "voc": 1.0},
+    {"name": "25% NOx cut", "nox": 0.75, "voc": 1.0},
+    {"name": "25% VOC cut", "nox": 1.0, "voc": 0.75}
+  ],
+  "popexp": {"enabled": true, "population": 12e6, "workers": 4},
+  "stations": {
+    "downtown": [90000, 100000],
+    "coastal": [30000, 80000],
+    "inland": [160000, 120000]
+  }
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gems:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	printExample := flag.Bool("print-example", false, "print a template study file and exit")
+	flag.Parse()
+	if *printExample {
+		fmt.Print(exampleStudy)
+		return nil
+	}
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: gems [flags] study.json (see -print-example)")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	study, err := gems.ParseStudy(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	out, err := gems.Run(study, os.Stderr)
+	if err != nil {
+		return err
+	}
+	return out.Report(os.Stdout)
+}

@@ -1,0 +1,176 @@
+// Command perfpredict runs the Section 4 analytic performance model
+// standalone: given a work trace (or a data set to trace), it prints the
+// model's predicted per-phase and per-redistribution times next to the
+// "measured" (replayed) ones for a sweep of node counts — the workflow the
+// paper proposes for extrapolating small-machine measurements to large
+// configurations.
+//
+// Usage:
+//
+//	perfpredict -trace testdata/traces/LA24h.trace -machine t3e
+//	perfpredict -dataset mini -hours 2 -machine paragon -nodes 4,8,16,32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"airshed/internal/core"
+	"airshed/internal/datasets"
+	"airshed/internal/dist"
+	"airshed/internal/fxplan"
+	"airshed/internal/machine"
+	"airshed/internal/perfmodel"
+	"airshed/internal/report"
+	"airshed/internal/vm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "perfpredict:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		tracePath = flag.String("trace", "", "work trace file (from airshedsim -save-trace or benchfig cache)")
+		dataset   = flag.String("dataset", "", "instead of -trace: run this data set (la, ne, mini)")
+		hours     = flag.Int("hours", 2, "hours to simulate when tracing a data set")
+		machName  = flag.String("machine", "t3e", "machine profile")
+		nodesCSV  = flag.String("nodes", "4,8,16,32,64,128", "node counts to sweep")
+		fit       = flag.Bool("fit", false, "also fit L, G, H from small-node communication samples")
+		routes    = flag.Bool("routes", false, "also print the planned redistribution routes per node count")
+	)
+	flag.Parse()
+
+	prof, err := machine.ByName(*machName)
+	if err != nil {
+		return err
+	}
+	var tr *core.Trace
+	switch {
+	case *tracePath != "":
+		if tr, err = core.LoadTrace(*tracePath); err != nil {
+			return err
+		}
+	case *dataset != "":
+		ds, err := datasets.ByName(*dataset)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "perfpredict: tracing %s for %d hours...\n", ds.Name, *hours)
+		res, err := core.Run(core.Config{Dataset: ds, Machine: prof, Nodes: 1, Hours: *hours})
+		if err != nil {
+			return err
+		}
+		tr = res.Trace
+	default:
+		return fmt.Errorf("need -trace or -dataset")
+	}
+
+	var nodes []int
+	for _, s := range strings.Split(*nodesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad node count %q: %w", s, err)
+		}
+		nodes = append(nodes, n)
+	}
+
+	fmt.Printf("Analytic model vs replayed measurement: %s trace (%d steps), %s\n\n",
+		tr.Dataset, tr.TotalSteps(), prof.Name)
+	comp := report.NewTable("Computation phases (s), P = predicted / M = measured",
+		"Nodes", "Chem P", "Chem M", "Trans P", "Trans M", "I/O P", "I/O M", "Total P", "Total M", "Err %")
+	comm := report.NewTable("Communication (s over run), P = predicted / M = measured",
+		"Nodes", "Repl->Trans P", "Repl->Trans M", "Trans->Chem P", "Trans->Chem M", "Chem->Repl P", "Chem->Repl M")
+	for _, p := range nodes {
+		pred, err := perfmodel.Predict(tr, prof, p)
+		if err != nil {
+			return err
+		}
+		meas, err := core.Replay(tr, prof, p, core.DataParallel)
+		if err != nil {
+			return err
+		}
+		errPct := 100 * (pred.Total - meas.Ledger.Total) / meas.Ledger.Total
+		comp.AddRow(p, pred.Chemistry, meas.Ledger.ByCat[vm.CatChemistry],
+			pred.Transport, meas.Ledger.ByCat[vm.CatTransport],
+			pred.IO, meas.Ledger.ByCat[vm.CatIO],
+			pred.Total, meas.Ledger.Total, errPct)
+		comm.AddRow(p,
+			pred.CommByKind[core.KindReplToTrans], meas.CommSeconds[core.KindReplToTrans],
+			pred.CommByKind[core.KindTransToChem], meas.CommSeconds[core.KindTransToChem],
+			pred.CommByKind[core.KindChemToRepl], meas.CommSeconds[core.KindChemToRepl])
+	}
+	if err := comp.Write(os.Stdout); err != nil {
+		return err
+	}
+	if err := comm.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	if *routes {
+		rt := report.NewTable("Planned redistribution schedule (fxplan)",
+			"Nodes", "Move", "Route", "Cost (ms)")
+		for _, p := range nodes {
+			pl, err := fxplan.NewPlanner(tr.Shape, prof, p)
+			if err != nil {
+				return err
+			}
+			phases := append(fxplan.AirshedMainLoop(), fxplan.Phase{Name: "outputhour", Dist: dist.DRepl})
+			plan, err := pl.Schedule(phases[:3], true)
+			if err != nil {
+				return err
+			}
+			for _, m := range plan.Moves {
+				rt.AddRow(p, m.After+" -> "+m.Before, routeString(m.Route), 1000*m.Cost)
+			}
+			// The hour-boundary gather.
+			route, cost, err := pl.Route(dist.DTrans, dist.DRepl)
+			if err != nil {
+				return err
+			}
+			rt.AddRow(p, "hourly gather", routeString(route), 1000*cost)
+		}
+		if err := rt.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if *fit {
+		samples, err := perfmodel.SamplesFromPlans(tr.Shape, prof, []int{2, 4, 8},
+			func(t dist.NodeTraffic) float64 { return t.Cost(prof) })
+		if err != nil {
+			return err
+		}
+		l, g, h, err := perfmodel.FitLGH(samples)
+		if err != nil {
+			return err
+		}
+		ft := report.NewTable("Fitted communication parameters (from small-node samples)",
+			"Parameter", "Fitted", "Machine profile")
+		ft.AddRow("L (s/message)", l, prof.LatencySec)
+		ft.AddRow("G (s/byte)", g, prof.ByteSec)
+		ft.AddRow("H (s/byte)", h, prof.CopySec)
+		if err := ft.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// routeString renders a distribution route compactly.
+func routeString(route []dist.Dist) string {
+	out := ""
+	for i, d := range route {
+		if i > 0 {
+			out += " => "
+		}
+		out += d.String()
+	}
+	return out
+}

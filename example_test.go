@@ -1,0 +1,64 @@
+package airshed_test
+
+import (
+	"fmt"
+
+	"airshed"
+)
+
+// Run the Airshed model on the reduced Mini configuration and price the
+// identical computation for two of the paper's machines. (The full
+// LA/NE data sets work the same way but take minutes of host time.)
+func Example() {
+	ds, err := airshed.Mini()
+	if err != nil {
+		panic(err)
+	}
+	res, err := airshed.Run(airshed.Config{
+		Dataset: ds,
+		Machine: airshed.CrayT3E(),
+		Nodes:   4,
+		Hours:   1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Replaying the recorded work trace prices the same run elsewhere.
+	paragon, err := airshed.Replay(res.Trace, airshed.IntelParagon(), 4, airshed.DataParallel)
+	if err != nil {
+		panic(err)
+	}
+	ratio := paragon.Ledger.Total / res.Ledger.Total
+	fmt.Printf("steps: %d\n", res.TotalSteps)
+	fmt.Printf("Paragon/T3E time ratio around 9-10x: %v\n", ratio > 7 && ratio < 11)
+	// Output:
+	// steps: 3
+	// Paragon/T3E time ratio around 9-10x: true
+}
+
+// The Section 4 analytic model predicts a run's time from aggregate trace
+// quantities only.
+func Example_predict() {
+	ds, err := airshed.Mini()
+	if err != nil {
+		panic(err)
+	}
+	res, err := airshed.Run(airshed.Config{
+		Dataset: ds, Machine: airshed.CrayT3E(), Nodes: 1, Hours: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	pred, err := airshed.Predict(res.Trace, airshed.CrayT3E(), 16)
+	if err != nil {
+		panic(err)
+	}
+	meas, err := airshed.Replay(res.Trace, airshed.CrayT3E(), 16, airshed.DataParallel)
+	if err != nil {
+		panic(err)
+	}
+	errPct := 100 * (pred.Total - meas.Ledger.Total) / meas.Ledger.Total
+	fmt.Printf("prediction within 15%% of measurement: %v\n", errPct > -15 && errPct < 15)
+	// Output:
+	// prediction within 15% of measurement: true
+}

@@ -1,0 +1,3 @@
+module airshed
+
+go 1.22

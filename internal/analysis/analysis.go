@@ -1,0 +1,244 @@
+// Package analysis post-processes Airshed concentration fields into the
+// air-quality metrics environmental policy work consumes: domain
+// statistics per species, standard-exceedance areas and populations, and
+// monitoring-station time series. This is the evaluation layer behind the
+// paper's motivating use ("the effect of air pollution control measures
+// can be evaluated at a low cost making it possible to select the best
+// strategy").
+//
+// The exceedance threshold defaults to the 1-hour ozone National Ambient
+// Air Quality Standard of the paper's era (0.12 ppm), the number the CIT
+// airshed model was built to predict attainment of.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"airshed/internal/grid"
+	"airshed/internal/popexp"
+	"airshed/internal/species"
+)
+
+// OzoneNAAQS1Hour is the 1-hour ozone standard of the paper's era, ppm.
+const OzoneNAAQS1Hour = 0.12
+
+// FieldStats summarises one species' ground-layer field.
+type FieldStats struct {
+	Species string
+	// Min, Max, Mean are concentration statistics over cells (the mean
+	// is area-weighted).
+	Min, Max, Mean float64
+	// MaxCell is the cell index of the maximum.
+	MaxCell int
+	// P95 is the area-weighted 95th percentile.
+	P95 float64
+}
+
+// Analyzer computes metrics over a fixed grid and mechanism.
+type Analyzer struct {
+	g    *grid.Grid
+	mech *species.Mechanism
+	area float64
+}
+
+// New creates an analyzer for a finalized grid and mechanism.
+func New(g *grid.Grid, mech *species.Mechanism) (*Analyzer, error) {
+	if len(g.Cells) == 0 {
+		return nil, fmt.Errorf("analysis: grid not finalized")
+	}
+	return &Analyzer{g: g, mech: mech, area: g.TotalArea()}, nil
+}
+
+// groundField extracts the ground-layer field of species sp from a
+// canonical concentration array.
+func (a *Analyzer) groundField(conc []float64, nl, sp int) ([]float64, error) {
+	ns := a.mech.N()
+	nc := len(a.g.Cells)
+	if len(conc) != ns*nl*nc {
+		return nil, fmt.Errorf("analysis: conc has %d values, want %d", len(conc), ns*nl*nc)
+	}
+	if sp < 0 || sp >= ns {
+		return nil, fmt.Errorf("analysis: species index %d out of range", sp)
+	}
+	field := make([]float64, nc)
+	for c := 0; c < nc; c++ {
+		field[c] = conc[sp+ns*(0+nl*c)]
+	}
+	return field, nil
+}
+
+// Stats computes ground-layer statistics for a species by name.
+func (a *Analyzer) Stats(conc []float64, nl int, name string) (*FieldStats, error) {
+	sp := a.mech.Index(name)
+	if sp < 0 {
+		return nil, fmt.Errorf("analysis: unknown species %q", name)
+	}
+	field, err := a.groundField(conc, nl, sp)
+	if err != nil {
+		return nil, err
+	}
+	st := &FieldStats{Species: name, Min: math.Inf(1), Max: math.Inf(-1)}
+	var wsum float64
+	type wv struct{ v, w float64 }
+	wvs := make([]wv, len(field))
+	for c, v := range field {
+		w := a.g.Cells[c].Area()
+		wsum += v * w
+		wvs[c] = wv{v, w}
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+			st.MaxCell = c
+		}
+	}
+	st.Mean = wsum / a.area
+	// Area-weighted 95th percentile.
+	sort.Slice(wvs, func(i, j int) bool { return wvs[i].v < wvs[j].v })
+	target := 0.95 * a.area
+	cum := 0.0
+	st.P95 = wvs[len(wvs)-1].v
+	for _, x := range wvs {
+		cum += x.w
+		if cum >= target {
+			st.P95 = x.v
+			break
+		}
+	}
+	return st, nil
+}
+
+// Exceedance reports how much of the domain (and optionally population)
+// exceeds a threshold in the ground layer.
+type Exceedance struct {
+	Species   string
+	Threshold float64
+	// AreaKm2 is the exceeding area in square kilometres and AreaFrac
+	// its fraction of the domain.
+	AreaKm2  float64
+	AreaFrac float64
+	// Cells is the number of exceeding cells.
+	Cells int
+	// Population is the number of people in exceeding cells (zero when
+	// no population is supplied).
+	Population float64
+}
+
+// Exceedance computes the exceedance of threshold by species name. pop
+// may be nil.
+func (a *Analyzer) Exceedance(conc []float64, nl int, name string, threshold float64, pop *popexp.Population) (*Exceedance, error) {
+	sp := a.mech.Index(name)
+	if sp < 0 {
+		return nil, fmt.Errorf("analysis: unknown species %q", name)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("analysis: threshold must be positive")
+	}
+	field, err := a.groundField(conc, nl, sp)
+	if err != nil {
+		return nil, err
+	}
+	if pop != nil && len(pop.Density) != len(field) {
+		return nil, fmt.Errorf("analysis: population grid mismatch")
+	}
+	ex := &Exceedance{Species: name, Threshold: threshold}
+	var area float64
+	for c, v := range field {
+		if v > threshold {
+			ex.Cells++
+			area += a.g.Cells[c].Area()
+			if pop != nil {
+				ex.Population += pop.Density[c]
+			}
+		}
+	}
+	ex.AreaKm2 = area / 1e6
+	ex.AreaFrac = area / a.area
+	return ex, nil
+}
+
+// Station is a named monitoring location.
+type Station struct {
+	Name string
+	X, Y float64
+	// Cell is resolved by NewStations.
+	Cell int
+}
+
+// NewStations resolves station coordinates to grid cells, rejecting
+// locations outside the domain.
+func (a *Analyzer) NewStations(defs map[string][2]float64) ([]Station, error) {
+	names := make([]string, 0, len(defs))
+	for name := range defs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	stations := make([]Station, 0, len(defs))
+	for _, name := range names {
+		xy := defs[name]
+		cell := a.g.FindCell(xy[0], xy[1])
+		if cell < 0 {
+			return nil, fmt.Errorf("analysis: station %q at (%g, %g) outside the domain", name, xy[0], xy[1])
+		}
+		stations = append(stations, Station{Name: name, X: xy[0], Y: xy[1], Cell: cell})
+	}
+	return stations, nil
+}
+
+// Sample reads the ground-layer concentration of a species at every
+// station.
+func (a *Analyzer) Sample(conc []float64, nl int, name string, stations []Station) (map[string]float64, error) {
+	sp := a.mech.Index(name)
+	if sp < 0 {
+		return nil, fmt.Errorf("analysis: unknown species %q", name)
+	}
+	field, err := a.groundField(conc, nl, sp)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(stations))
+	for _, st := range stations {
+		out[st.Name] = field[st.Cell]
+	}
+	return out, nil
+}
+
+// CompareRuns diffs two final states species by species: the policy
+// evaluation primitive (strategy vs baseline).
+type RunDelta struct {
+	Species string
+	// BaseMax / AltMax are the ground-layer maxima of the two runs.
+	BaseMax, AltMax float64
+	// MaxChangePct is 100*(alt-base)/base for the maxima.
+	MaxChangePct float64
+	// MeanChangePct compares the area-weighted means.
+	MeanChangePct float64
+}
+
+// CompareRuns analyses the listed species across two concentration
+// arrays.
+func (a *Analyzer) CompareRuns(base, alt []float64, nl int, names []string) ([]RunDelta, error) {
+	out := make([]RunDelta, 0, len(names))
+	for _, name := range names {
+		sb, err := a.Stats(base, nl, name)
+		if err != nil {
+			return nil, err
+		}
+		sa, err := a.Stats(alt, nl, name)
+		if err != nil {
+			return nil, err
+		}
+		d := RunDelta{Species: name, BaseMax: sb.Max, AltMax: sa.Max}
+		if sb.Max > 0 {
+			d.MaxChangePct = 100 * (sa.Max - sb.Max) / sb.Max
+		}
+		if sb.Mean > 0 {
+			d.MeanChangePct = 100 * (sa.Mean - sb.Mean) / sb.Mean
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

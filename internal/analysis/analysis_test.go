@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"airshed/internal/grid"
+	"airshed/internal/popexp"
+	"airshed/internal/species"
+)
+
+func testSetup(t *testing.T) (*Analyzer, *grid.Grid, *species.Mechanism) {
+	t.Helper()
+	g, err := grid.Uniform(40e3, 40e3, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech := species.StandardMechanism()
+	a, err := New(g, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, g, mech
+}
+
+// buildConc creates an array with a specified ground-layer ozone field.
+func buildConc(mech *species.Mechanism, nl, nc int, o3 func(c int) float64) []float64 {
+	ns := mech.N()
+	conc := make([]float64, ns*nl*nc)
+	iO3 := mech.MustIndex("O3")
+	for c := 0; c < nc; c++ {
+		for l := 0; l < nl; l++ {
+			conc[iO3+ns*(l+nl*c)] = o3(c) / float64(l+1)
+		}
+	}
+	return conc
+}
+
+func TestStats(t *testing.T) {
+	a, g, mech := testSetup(t)
+	nl := 5
+	conc := buildConc(mech, nl, len(g.Cells), func(c int) float64 { return 0.01 * float64(c+1) })
+	st, err := a.Stats(conc, nl, "O3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Min != 0.01 || math.Abs(st.Max-0.16) > 1e-12 {
+		t.Errorf("min/max = %g/%g", st.Min, st.Max)
+	}
+	if st.MaxCell != len(g.Cells)-1 {
+		t.Errorf("MaxCell = %d", st.MaxCell)
+	}
+	// Uniform cells: mean = average of 0.01..0.16 = 0.085.
+	if math.Abs(st.Mean-0.085) > 1e-12 {
+		t.Errorf("Mean = %g, want 0.085", st.Mean)
+	}
+	if st.P95 < 0.15 || st.P95 > 0.16 {
+		t.Errorf("P95 = %g", st.P95)
+	}
+	if _, err := a.Stats(conc, nl, "UNOBTAINIUM"); err == nil {
+		t.Error("unknown species accepted")
+	}
+	if _, err := a.Stats(conc[:5], nl, "O3"); err == nil {
+		t.Error("short array accepted")
+	}
+}
+
+func TestExceedance(t *testing.T) {
+	a, g, mech := testSetup(t)
+	nl := 5
+	// 4 of 16 cells exceed 0.12 ppm.
+	conc := buildConc(mech, nl, len(g.Cells), func(c int) float64 {
+		if c < 4 {
+			return 0.15
+		}
+		return 0.05
+	})
+	pop, err := popexp.SyntheticPopulation(g, 20e3, 20e3, 10e3, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := a.Exceedance(conc, nl, "O3", OzoneNAAQS1Hour, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Cells != 4 {
+		t.Errorf("Cells = %d, want 4", ex.Cells)
+	}
+	if math.Abs(ex.AreaFrac-0.25) > 1e-12 {
+		t.Errorf("AreaFrac = %g, want 0.25", ex.AreaFrac)
+	}
+	wantArea := 4.0 * 10 * 10 // four 10x10 km cells
+	if math.Abs(ex.AreaKm2-wantArea) > 1e-9 {
+		t.Errorf("AreaKm2 = %g, want %g", ex.AreaKm2, wantArea)
+	}
+	if ex.Population <= 0 || ex.Population >= 1e6 {
+		t.Errorf("Population = %g", ex.Population)
+	}
+	// Without population.
+	ex2, err := a.Exceedance(conc, nl, "O3", OzoneNAAQS1Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex2.Population != 0 {
+		t.Error("population reported without a population grid")
+	}
+	if _, err := a.Exceedance(conc, nl, "O3", 0, nil); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestStations(t *testing.T) {
+	a, g, mech := testSetup(t)
+	nl := 5
+	stations, err := a.NewStations(map[string][2]float64{
+		"downtown": {5e3, 5e3},
+		"suburb":   {35e3, 35e3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stations) != 2 {
+		t.Fatalf("%d stations", len(stations))
+	}
+	// Deterministic order (sorted by name).
+	if stations[0].Name != "downtown" || stations[1].Name != "suburb" {
+		t.Errorf("station order: %v", stations)
+	}
+	conc := buildConc(mech, nl, len(g.Cells), func(c int) float64 { return 0.01 * float64(c+1) })
+	vals, err := a.Sample(conc, nl, "O3", stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDowntown := 0.01 * float64(g.FindCell(5e3, 5e3)+1)
+	if math.Abs(vals["downtown"]-wantDowntown) > 1e-12 {
+		t.Errorf("downtown = %g, want %g", vals["downtown"], wantDowntown)
+	}
+	if _, err := a.NewStations(map[string][2]float64{"offshore": {-5e3, 5e3}}); err == nil {
+		t.Error("out-of-domain station accepted")
+	}
+}
+
+func TestCompareRuns(t *testing.T) {
+	a, g, mech := testSetup(t)
+	nl := 5
+	base := buildConc(mech, nl, len(g.Cells), func(c int) float64 { return 0.10 })
+	alt := buildConc(mech, nl, len(g.Cells), func(c int) float64 { return 0.08 })
+	deltas, err := a.CompareRuns(base, alt, nl, []string{"O3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("%d deltas", len(deltas))
+	}
+	d := deltas[0]
+	if math.Abs(d.MaxChangePct+20) > 1e-9 {
+		t.Errorf("MaxChangePct = %g, want -20", d.MaxChangePct)
+	}
+	if math.Abs(d.MeanChangePct+20) > 1e-9 {
+		t.Errorf("MeanChangePct = %g, want -20", d.MeanChangePct)
+	}
+	if _, err := a.CompareRuns(base, alt, nl, []string{"NOPE"}); err == nil {
+		t.Error("unknown species accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g, _ := grid.New(40e3, 40e3, 4, 4) // not finalized
+	if _, err := New(g, species.StandardMechanism()); err == nil {
+		t.Error("unfinalized grid accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package chemistry
+
+import (
+	"fmt"
+
+	"airshed/internal/species"
+)
+
+// CellEnv is the meteorological forcing of one column for one outer time
+// step: temperature per layer, actinic flux, and the vertical transport
+// environment.
+type CellEnv struct {
+	// TempK holds the temperature per layer in Kelvin.
+	TempK []float64
+	// Sun is the normalised actinic flux in [0, 1].
+	Sun float64
+	// Vert is the vertical transport forcing.
+	Vert *VerticalEnv
+}
+
+// Operator is the combined chemistry + vertical transport operator Lcz of
+// the operator-splitting scheme c^{n+1} = Lxy(dt/2) Lcz(dt) Lxy(dt/2) c^n.
+// It advances one column (one horizontal grid cell, all layers, all
+// species) independently of every other column. An Operator owns scratch
+// buffers and is NOT safe for concurrent use; create one per worker.
+type Operator struct {
+	mech  *species.Mechanism
+	geo   *ColumnGeometry
+	integ *Integrator
+	vert  *VerticalSolver
+	layer []float64
+}
+
+// NewOperator builds the Lcz operator for a mechanism and column geometry.
+func NewOperator(mech *species.Mechanism, geo *ColumnGeometry, cfg Config) (*Operator, error) {
+	integ, err := NewIntegrator(mech, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Operator{
+		mech:  mech,
+		geo:   geo,
+		integ: integ,
+		vert:  NewVerticalSolver(geo),
+		layer: make([]float64, mech.N()),
+	}, nil
+}
+
+// Mechanism returns the operator's mechanism.
+func (op *Operator) Mechanism() *species.Mechanism { return op.mech }
+
+// Geometry returns the operator's column geometry.
+func (op *Operator) Geometry() *ColumnGeometry { return op.geo }
+
+// CellWork is the work performed by one Lcz application on one column.
+type CellWork struct {
+	Chem Work
+	// VertFlops counts vertical-solver floating point work units.
+	VertFlops float64
+}
+
+// Add accumulates o into w.
+func (w *CellWork) Add(o CellWork) {
+	w.Chem.Add(o.Chem)
+	w.VertFlops += o.VertFlops
+}
+
+// Flops converts the cell work into charged floating point operations
+// using the mechanism's per-evaluation cost and the calibration factor
+// flopsScale (accounting for the full CIT mechanism being costlier than
+// the condensed one executed here; see DESIGN.md).
+func (w CellWork) Flops(mech *species.Mechanism, flopsScale float64) float64 {
+	perEval := mech.FlopsPerProdLoss() + 12*float64(mech.N())
+	return flopsScale * (float64(w.Chem.Evals)*perEval + w.VertFlops)
+}
+
+// Apply advances the column block conc (indexed conc[species +
+// nspecies*layer], modified in place) by dtSeconds of combined chemistry
+// and vertical transport under the given environment. The vertical
+// operator is Strang-split around the chemistry: V(dt/2) C(dt) V(dt/2).
+func (op *Operator) Apply(conc []float64, env *CellEnv, dtSeconds float64) (CellWork, error) {
+	var w CellWork
+	n := op.mech.N()
+	nl := op.geo.Layers()
+	if len(conc) != n*nl {
+		return w, fmt.Errorf("chemistry: column block has %d values, want %d", len(conc), n*nl)
+	}
+	if len(env.TempK) != nl {
+		return w, fmt.Errorf("chemistry: TempK has %d layers, want %d", len(env.TempK), nl)
+	}
+	if dtSeconds <= 0 {
+		return w, fmt.Errorf("chemistry: non-positive dt %g", dtSeconds)
+	}
+
+	// Reset the adaptive substep so each column integrates identically
+	// regardless of which columns this operator instance processed
+	// before — required for results to be independent of the data
+	// distribution (and therefore of the node count).
+	op.integ.ResetStep()
+
+	half := dtSeconds / 2
+	fl, err := op.vert.Step(conc, n, env.Vert, half)
+	if err != nil {
+		return w, err
+	}
+	w.VertFlops += fl
+
+	dtMin := dtSeconds / 60.0
+	for l := 0; l < nl; l++ {
+		block := conc[n*l : n*(l+1)]
+		copy(op.layer, block)
+		cw, err := op.integ.Integrate(op.layer, dtMin, env.TempK[l], env.Sun)
+		if err != nil {
+			return w, err
+		}
+		w.Chem.Add(cw)
+		copy(block, op.layer)
+	}
+
+	fl, err = op.vert.Step(conc, n, env.Vert, half)
+	if err != nil {
+		return w, err
+	}
+	w.VertFlops += fl
+	return w, nil
+}

@@ -1,0 +1,137 @@
+// Package core implements the Airshed simulation driver: the hourly loop
+// of the paper's Figure 1,
+//
+//	DO i = 1, nhrs
+//	  CALL inputhour(A)
+//	  CALL pretrans(A)
+//	  DO j = 1, nsteps
+//	    CALL transport(A)
+//	    CALL chemistry(A)
+//	    CALL transport(A)
+//	  ENDDO
+//	  CALL outputhour(A)
+//	ENDDO
+//
+// executed over the fx runtime's distributed concentration array with the
+// paper's distribution cycle D_Repl -> D_Trans -> D_Chem -> D_Repl. The
+// driver runs the real numerics once and records a work trace; package
+// function Replay then reprices that trace for any machine profile, node
+// count and execution mode (data-parallel, or task-parallel with the
+// 3-stage pipelined I/O of Section 5), which is how the benchmark harness
+// sweeps Figures 2-9 without recomputing chemistry.
+package core
+
+import (
+	"fmt"
+
+	"airshed/internal/chemistry"
+	"airshed/internal/datasets"
+	"airshed/internal/machine"
+)
+
+// Mode selects the parallelisation strategy.
+type Mode int
+
+const (
+	// DataParallel is the pure data-parallel implementation of
+	// Sections 2-4: I/O sequential, transport over layers, chemistry
+	// over cells.
+	DataParallel Mode = iota
+	// TaskParallel adds the pipelined task parallelism of Section 5:
+	// input processing, main computation and output processing run as
+	// three pipelined tasks on disjoint node subgroups.
+	TaskParallel
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case DataParallel:
+		return "data-parallel"
+	case TaskParallel:
+		return "task+data-parallel"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Dataset is the input configuration (datasets.LA(), datasets.NE()).
+	Dataset *datasets.Dataset
+	// Machine is the virtual machine profile to charge.
+	Machine *machine.Profile
+	// Nodes is the virtual machine size P.
+	Nodes int
+	// Hours is the number of simulated hours (the paper runs 24).
+	Hours int
+	// Mode selects data-parallel or task-parallel execution.
+	Mode Mode
+	// Chemistry tunes the Young-Boris integrator; zero value means
+	// chemistry.DefaultConfig().
+	Chemistry *chemistry.Config
+	// SnapshotDir, when non-empty, makes outputhour write real snapshot
+	// files there (hour_NNN.snap); otherwise output volume is charged
+	// without touching the filesystem.
+	SnapshotDir string
+	// StartHour is the first simulated hour (0 = midnight of day one).
+	// Hours counts from here, so a run with StartHour 8, Hours 4 covers
+	// hours 8-11. Combined with InitialConc this restarts a simulation
+	// from a snapshot.
+	StartHour int
+	// InitialConc, when non-nil, replaces the data set's initial
+	// concentrations (canonical layout, length Shape.Len()); used to
+	// restart from an hourly snapshot.
+	InitialConc []float64
+	// GoParallel enables host goroutine parallelism for the node
+	// bodies. It does not affect results.
+	GoParallel bool
+	// MaxStepsPerHour caps the runtime-determined step count (safety
+	// valve; 0 means the default cap of 6).
+	MaxStepsPerHour int
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Dataset == nil:
+		return fmt.Errorf("core: Config.Dataset is nil")
+	case c.Machine == nil:
+		return fmt.Errorf("core: Config.Machine is nil")
+	case c.Nodes <= 0:
+		return fmt.Errorf("core: Nodes must be positive, got %d", c.Nodes)
+	case c.Hours <= 0:
+		return fmt.Errorf("core: Hours must be positive, got %d", c.Hours)
+	case c.Mode == TaskParallel && c.Nodes < 3:
+		return fmt.Errorf("core: task-parallel mode needs at least 3 nodes, got %d", c.Nodes)
+	case c.MaxStepsPerHour < 0:
+		return fmt.Errorf("core: MaxStepsPerHour must be non-negative")
+	case c.StartHour < 0:
+		return fmt.Errorf("core: StartHour must be non-negative, got %d", c.StartHour)
+	}
+	if c.InitialConc != nil && len(c.InitialConc) != c.Dataset.Shape.Len() {
+		return fmt.Errorf("core: InitialConc has %d values, want %d", len(c.InitialConc), c.Dataset.Shape.Len())
+	}
+	if c.Chemistry != nil {
+		if err := c.Chemistry.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.Machine.Validate()
+}
+
+// chemConfig resolves the chemistry configuration.
+func (c *Config) chemConfig() chemistry.Config {
+	if c.Chemistry != nil {
+		return *c.Chemistry
+	}
+	return chemistry.DefaultConfig()
+}
+
+// maxSteps resolves the per-hour step cap.
+func (c *Config) maxSteps() int {
+	if c.MaxStepsPerHour > 0 {
+		return c.MaxStepsPerHour
+	}
+	return 6
+}

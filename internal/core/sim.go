@@ -1,0 +1,513 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"airshed/internal/aerosol"
+	"airshed/internal/chemistry"
+	"airshed/internal/dist"
+	"airshed/internal/fx"
+	"airshed/internal/hourio"
+	"airshed/internal/meteo"
+	"airshed/internal/transport"
+	"airshed/internal/vm"
+)
+
+// Redistribution kind labels used by Figure 5's per-step breakdown.
+const (
+	KindReplToTrans = "D_Repl->D_Trans"
+	KindTransToChem = "D_Trans->D_Chem"
+	KindChemToRepl  = "D_Chem->D_Repl"
+	KindTransToRepl = "D_Trans->D_Repl (hourly)"
+)
+
+// RedistKinds lists the kinds in the paper's order.
+func RedistKinds() []string {
+	return []string{KindReplToTrans, KindTransToChem, KindChemToRepl, KindTransToRepl}
+}
+
+// Result is the outcome of a physical simulation run.
+type Result struct {
+	// Ledger is the virtual machine's per-category time report.
+	Ledger vm.Ledger
+	// Trace is the machine-independent work record (replayable).
+	Trace *Trace
+	// Final is the final concentration array in canonical layout.
+	Final []float64
+	// TotalSteps is the number of inner steps executed.
+	TotalSteps int
+	// PeakO3 is the maximum ground-layer ozone over the run (ppm) and
+	// PeakO3Cell the cell where it occurred.
+	PeakO3     float64
+	PeakO3Cell int
+	// HourlyPeakO3 records the ground-layer ozone maximum at the end of
+	// every simulated hour (index 0 = first hour of the run).
+	HourlyPeakO3 []float64
+	// NodeUtilization is each virtual node's busy fraction of the total
+	// time; Efficiency is their average (the run's parallel efficiency).
+	NodeUtilization []float64
+	Efficiency      float64
+	// CommSeconds[kind] totals the virtual time of each redistribution
+	// kind (Figure 5); RedistCounts[kind] counts occurrences.
+	CommSeconds  map[string]float64
+	RedistCounts map[string]int
+}
+
+// Simulation is the physical Airshed driver.
+type Simulation struct {
+	cfg  Config
+	vm   *vm.Machine
+	rt   *fx.Runtime
+	arr  *fx.Array
+	aero *aerosol.Model
+
+	chemOps  []*chemistry.Operator
+	transOps []*transport.Operator2D
+	fieldBuf [][]float64 // per-node layer-field scratch
+	emisBuf  [][]float64 // per-node per-species emission scratch
+
+	minCell float64
+	iO3     int
+
+	trace  *Trace
+	result *Result
+}
+
+// NewSimulation validates the configuration and assembles the driver.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ds := cfg.Dataset
+	vmm, err := vm.New(cfg.Machine, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := fx.NewRuntime(vmm)
+	rt.GoParallel = cfg.GoParallel
+
+	init := cfg.InitialConc
+	if init == nil {
+		init = ds.Provider.InitialConcentrations()
+	}
+	arr, err := fx.NewArrayFrom(rt, ds.Shape, dist.DRepl, init)
+	if err != nil {
+		return nil, err
+	}
+	aero, err := aerosol.New(ds.Mechanism())
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:  cfg,
+		vm:   vmm,
+		rt:   rt,
+		arr:  arr,
+		aero: aero,
+		iO3:  ds.Mechanism().MustIndex("O3"),
+	}
+	g := ds.Grid()
+	s.minCell = math.Inf(1)
+	for i := range g.Cells {
+		if g.Cells[i].Size < s.minCell {
+			s.minCell = g.Cells[i].Size
+		}
+	}
+	chemCfg := cfg.chemConfig()
+	s.chemOps = make([]*chemistry.Operator, cfg.Nodes)
+	s.transOps = make([]*transport.Operator2D, cfg.Nodes)
+	s.fieldBuf = make([][]float64, cfg.Nodes)
+	s.emisBuf = make([][]float64, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		op, err := chemistry.NewOperator(ds.Mechanism(), ds.Geometry(), chemCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.chemOps[n] = op
+		top, err := transport.New2D(g)
+		if err != nil {
+			return nil, err
+		}
+		s.transOps[n] = top
+		s.fieldBuf[n] = make([]float64, ds.Shape.Cells)
+		s.emisBuf[n] = make([]float64, ds.Shape.Species)
+	}
+	s.trace = &Trace{Dataset: ds.Name, Shape: ds.Shape}
+	s.result = &Result{
+		CommSeconds:  make(map[string]float64),
+		RedistCounts: make(map[string]int),
+	}
+	return s, nil
+}
+
+// StepsForHour computes the runtime-determined inner step count for an
+// hour input (the paper: "a number of time steps determined at runtime
+// based on the hourly inputs"): an accuracy-driven bound on how far the
+// operator-splitting step may advect relative to the finest cell.
+func StepsForHour(in *meteo.HourInput, minCell float64, maxSteps int) int {
+	maxSpeed := 0.0
+	for l := range in.WindU {
+		for c := range in.WindU[l] {
+			if v := math.Hypot(in.WindU[l][c], in.WindV[l][c]); v > maxSpeed {
+				maxSpeed = v
+			}
+		}
+	}
+	n := int(math.Ceil(3600 * maxSpeed / (4.5 * minCell)))
+	if n < 2 {
+		n = 2
+	}
+	if n > maxSteps {
+		n = maxSteps
+	}
+	return n
+}
+
+// Run executes the simulation and returns the result.
+func (s *Simulation) Run() (*Result, error) {
+	ds := s.cfg.Dataset
+	sh := ds.Shape
+	prov := ds.Provider
+	mech := ds.Mechanism()
+
+	for hour := s.cfg.StartHour; hour < s.cfg.StartHour+s.cfg.Hours; hour++ {
+		in, err := prov.HourInput(hour)
+		if err != nil {
+			return nil, err
+		}
+		// --- inputhour: sequential I/O processing on node 0 ---
+		inBytes, err := hourio.WriteHourInput(io.Discard, in)
+		if err != nil {
+			return nil, err
+		}
+		s.vm.ChargeIO(0, inBytes)
+
+		// --- pretrans: sequential preprocessing on node 0 ---
+		nsteps := StepsForHour(in, s.minCell, s.cfg.maxSteps())
+		envs := s.buildTransportEnvs(in)
+		pretransFlops := float64(12*sh.Layers*sh.Cells + 4*sh.Species*sh.Cells)
+		s.vm.ChargeCompute(0, vm.CatIO, pretransFlops)
+		s.vm.Barrier()
+
+		ht := HourTrace{InBytes: inBytes, PretransFlops: pretransFlops}
+		dtStep := 3600.0 / float64(nsteps)
+		// The transport solver advances every layer with one shared
+		// (worst-layer CFL) substep, so per-layer work is uniform and
+		// the transport phase load depends only on the layer count per
+		// node — the behaviour the paper's Figure 4 shows.
+		nsub, err := s.hourSubsteps(envs, dtStep/2)
+		if err != nil {
+			return nil, err
+		}
+
+		for step := 0; step < nsteps; step++ {
+			st := StepTrace{
+				LayerFlops: make([]float64, sh.Layers),
+				CellFlops:  make([]float64, sh.Cells),
+			}
+			// Leading transport (half step).
+			if s.arr.Dist() != dist.DTrans {
+				if err := s.redistribute(dist.DTrans, KindReplToTrans); err != nil {
+					return nil, err
+				}
+			}
+			if err := s.transportPhase(envs, in, dtStep/2, nsub, st.LayerFlops); err != nil {
+				return nil, err
+			}
+			// Chemistry + vertical transport (full step).
+			if err := s.redistribute(dist.DChem, KindTransToChem); err != nil {
+				return nil, err
+			}
+			if err := s.chemistryPhase(in, dtStep, st.CellFlops); err != nil {
+				return nil, err
+			}
+			// Aerosol: replicated.
+			if err := s.redistribute(dist.DRepl, KindChemToRepl); err != nil {
+				return nil, err
+			}
+			aeroFlops, err := s.aerosolPhase(in)
+			if err != nil {
+				return nil, err
+			}
+			st.AeroFlops = aeroFlops
+			// Trailing transport (half step).
+			if err := s.redistribute(dist.DTrans, KindReplToTrans); err != nil {
+				return nil, err
+			}
+			trail := make([]float64, sh.Layers)
+			if err := s.transportPhase(envs, in, dtStep/2, nsub, trail); err != nil {
+				return nil, err
+			}
+			for l := range trail {
+				if trail[l] != st.LayerFlops[l] {
+					return nil, fmt.Errorf("core: leading/trailing transport work diverged on layer %d: %g vs %g",
+						l, st.LayerFlops[l], trail[l])
+				}
+			}
+			ht.Steps = append(ht.Steps, st)
+			s.result.TotalSteps++
+		}
+
+		// --- outputhour: sequential I/O processing on node 0 ---
+		// The hourly gather to the replicated I/O distribution goes in
+		// two phases through D_Chem: a direct D_Trans -> D_Repl plan
+		// would make each of the few layer owners send its whole slab
+		// to every node (O(P) slab copies), while the two-phase route
+		// costs a cheap slab scatter plus the same all-gather the main
+		// loop already performs. This is the classic two-phase
+		// redistribution optimisation; see DESIGN.md.
+		if err := s.redistribute(dist.DChem, KindTransToRepl); err != nil {
+			return nil, err
+		}
+		if err := s.redistribute(dist.DRepl, KindTransToRepl); err != nil {
+			return nil, err
+		}
+		repl, err := s.arr.Replica()
+		if err != nil {
+			return nil, err
+		}
+		outBytes, err := s.writeSnapshot(hour, repl)
+		if err != nil {
+			return nil, err
+		}
+		s.vm.ChargeIO(0, outBytes)
+		s.vm.Barrier()
+		ht.OutBytes = outBytes
+		s.trace.Hours = append(s.trace.Hours, ht)
+
+		// Diagnostics: ground-layer ozone peak, overall and per hour.
+		hourPeak := 0.0
+		for c := 0; c < sh.Cells; c++ {
+			v := repl[s.iO3+sh.Species*(0+sh.Layers*c)]
+			if v > hourPeak {
+				hourPeak = v
+			}
+			if v > s.result.PeakO3 {
+				s.result.PeakO3 = v
+				s.result.PeakO3Cell = c
+			}
+		}
+		s.result.HourlyPeakO3 = append(s.result.HourlyPeakO3, hourPeak)
+		_ = mech
+	}
+
+	s.result.Ledger = s.vm.Ledger()
+	s.result.Trace = s.trace
+	s.result.Final = s.arr.Gather()
+	s.result.NodeUtilization, s.result.Efficiency = s.vm.Utilization()
+
+	// In task-parallel mode the numerics are identical but the schedule
+	// (and therefore the virtual time) follows the Section 5 pipeline;
+	// reprice the recorded trace under that schedule.
+	if s.cfg.Mode == TaskParallel {
+		rr, err := Replay(s.trace, s.cfg.Machine, s.cfg.Nodes, TaskParallel)
+		if err != nil {
+			return nil, err
+		}
+		s.result.Ledger = rr.Ledger
+		s.result.CommSeconds = rr.CommSeconds
+		s.result.RedistCounts = rr.RedistCounts
+	}
+	return s.result, nil
+}
+
+// redistribute moves the array and books the phase under its kind.
+func (s *Simulation) redistribute(to dist.Dist, kind string) error {
+	before := s.vm.Elapsed()
+	if _, err := s.arr.Redistribute(to); err != nil {
+		return err
+	}
+	s.result.CommSeconds[kind] += s.vm.Elapsed() - before
+	s.result.RedistCounts[kind]++
+	return nil
+}
+
+// buildTransportEnvs creates the per-layer transport environments.
+func (s *Simulation) buildTransportEnvs(in *meteo.HourInput) []transport.Env {
+	nl := s.cfg.Dataset.Shape.Layers
+	envs := make([]transport.Env, nl)
+	for l := 0; l < nl; l++ {
+		envs[l] = transport.Env{U: in.WindU[l], V: in.WindV[l], KH: in.KH}
+	}
+	return envs
+}
+
+// hourSubsteps computes the shared transport substep count for an hour:
+// the worst layer's CFL requirement for a half step of dtHalf seconds.
+func (s *Simulation) hourSubsteps(envs []transport.Env, dtHalf float64) (int, error) {
+	op := s.transOps[0]
+	nsub := 1
+	for l := range envs {
+		if _, err := op.Prepare(&envs[l]); err != nil {
+			return 0, err
+		}
+		if n := op.Substeps(dtHalf); n > nsub {
+			nsub = n
+		}
+	}
+	return nsub, nil
+}
+
+// transportPhase runs the horizontal operator on every owned layer with
+// the shared substep count.
+func (s *Simulation) transportPhase(envs []transport.Env, in *meteo.HourInput, dt float64, nsub int, record []float64) error {
+	ds := s.cfg.Dataset
+	sh := ds.Shape
+	return s.rt.ParallelNodes(vm.CatTransport, func(node int) (float64, error) {
+		iv, err := s.arr.OwnedLayers(node)
+		if err != nil {
+			return 0, err
+		}
+		op := s.transOps[node]
+		buf := s.fieldBuf[node]
+		var flops float64
+		for l := iv.Lo; l < iv.Hi; l++ {
+			env := &envs[l]
+			if _, err := op.Prepare(env); err != nil {
+				return 0, err
+			}
+			var layerWork float64
+			for sp := 0; sp < sh.Species; sp++ {
+				if err := s.arr.GatherLayerField(node, sp, l, buf); err != nil {
+					return 0, err
+				}
+				env.Inflow = in.Inflow[sp]
+				w, err := op.StepFieldN(buf, env, dt, nsub)
+				if err != nil {
+					return 0, err
+				}
+				layerWork += w
+				if err := s.arr.ScatterLayerField(node, sp, l, buf); err != nil {
+					return 0, err
+				}
+			}
+			charged := layerWork * ds.TransportFlopsScale
+			record[l] = charged
+			flops += charged
+		}
+		return flops, nil
+	})
+}
+
+// chemistryPhase runs the Lcz operator on every owned cell column.
+func (s *Simulation) chemistryPhase(in *meteo.HourInput, dt float64, record []float64) error {
+	ds := s.cfg.Dataset
+	mech := ds.Mechanism()
+	return s.rt.ParallelNodes(vm.CatChemistry, func(node int) (float64, error) {
+		iv, err := s.arr.OwnedCells(node)
+		if err != nil {
+			return 0, err
+		}
+		op := s.chemOps[node]
+		emis := s.emisBuf[node]
+		env := &chemistry.CellEnv{
+			TempK: in.TempK,
+			Sun:   in.Sun,
+			Vert: &chemistry.VerticalEnv{
+				Kz:      in.Kz,
+				VDep:    in.VDep,
+				Emis:    emis,
+				VSettle: in.VSettle,
+			},
+		}
+		var flops float64
+		for c := iv.Lo; c < iv.Hi; c++ {
+			block, err := s.arr.CellBlock(node, c)
+			if err != nil {
+				return 0, err
+			}
+			for sp := range emis {
+				emis[sp] = in.Emis[sp][c]
+			}
+			cw, err := op.Apply(block, env, dt)
+			if err != nil {
+				return 0, err
+			}
+			charged := cw.Flops(mech, ds.ChemFlopsScale)
+			record[c] = charged
+			flops += charged
+		}
+		return flops, nil
+	})
+}
+
+// aerosolPhase runs the replicated aerosol step: executed once on the
+// shared replica, charged to every node (they all perform it in the
+// paper's implementation).
+func (s *Simulation) aerosolPhase(in *meteo.HourInput) (float64, error) {
+	sh := s.cfg.Dataset.Shape
+	repl, err := s.arr.Replica()
+	if err != nil {
+		return 0, err
+	}
+	flops, err := s.aero.Step(repl, sh.Species, sh.Layers, sh.Cells, in.TempK[0])
+	if err != nil {
+		return 0, err
+	}
+	for n := 0; n < s.cfg.Nodes; n++ {
+		s.vm.ChargeCompute(n, vm.CatAerosol, flops)
+	}
+	s.vm.Barrier()
+	return flops, nil
+}
+
+// writeSnapshot serialises the hourly output, really (SnapshotDir set) or
+// to a byte counter.
+func (s *Simulation) writeSnapshot(hour int, conc []float64) (int64, error) {
+	sh := s.cfg.Dataset.Shape
+	if s.cfg.SnapshotDir == "" {
+		return hourio.WriteSnapshot(io.Discard, hour, sh.Species, sh.Layers, sh.Cells, conc)
+	}
+	path := filepath.Join(s.cfg.SnapshotDir, fmt.Sprintf("hour_%03d.snap", hour))
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, werr := hourio.WriteSnapshot(f, hour, sh.Species, sh.Layers, sh.Cells, conc)
+	cerr := f.Close()
+	if werr != nil {
+		return n, werr
+	}
+	return n, cerr
+}
+
+// Run is the convenience entry point: build and run a simulation.
+func Run(cfg Config) (*Result, error) {
+	s, err := NewSimulation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Restart resumes a simulation from an hourly snapshot file written by a
+// previous run (Config.SnapshotDir): the snapshot's concentrations become
+// the initial state and its hour+1 the start hour. The continuation is
+// bit-identical to having run straight through (asserted by
+// TestRestartBitIdentical).
+func Restart(snapshotPath string, cfg Config) (*Result, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("core: Restart needs Config.Dataset")
+	}
+	f, err := os.Open(snapshotPath)
+	if err != nil {
+		return nil, err
+	}
+	hour, ns, nl, nc, conc, _, err := hourio.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	sh := cfg.Dataset.Shape
+	if ns != sh.Species || nl != sh.Layers || nc != sh.Cells {
+		return nil, fmt.Errorf("core: snapshot dimensions A(%d,%d,%d) do not match data set %v",
+			ns, nl, nc, sh)
+	}
+	cfg.StartHour = hour + 1
+	cfg.InitialConc = conc
+	return Run(cfg)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"airshed/internal/dist"
+)
+
+// StepTrace records the charged work of one inner time step, independent
+// of machine and node count: per-layer transport flops (one transport
+// call; leading and trailing calls of a step are identical because the
+// substep count depends only on the hourly wind field), per-cell chemistry
+// flops, and the replicated aerosol flops.
+type StepTrace struct {
+	// LayerFlops[l] is the charged work of transporting layer l for
+	// half a time step (one transport call), all species.
+	LayerFlops []float64
+	// CellFlops[c] is the charged work of the combined chemistry +
+	// vertical transport operator on cell c's column for the full step.
+	CellFlops []float64
+	// AeroFlops is the replicated aerosol work.
+	AeroFlops float64
+}
+
+// HourTrace records the charged work of one simulated hour.
+type HourTrace struct {
+	// InBytes / OutBytes are the sequential I/O volumes of inputhour
+	// and outputhour.
+	InBytes, OutBytes int64
+	// PretransFlops is the sequential preprocessing work.
+	PretransFlops float64
+	// Steps holds the inner loop, length nsteps (runtime determined).
+	Steps []StepTrace
+}
+
+// Trace is the machine-independent work record of a full run. Replaying a
+// trace against a machine profile and node count reproduces the ledger of
+// a physical run exactly (see TestReplayMatchesDriver).
+type Trace struct {
+	// Dataset names the input configuration.
+	Dataset string
+	// Shape is the concentration array shape.
+	Shape dist.Shape
+	// Hours holds one record per simulated hour.
+	Hours []HourTrace
+}
+
+// TotalSteps sums the inner steps over all hours (the paper reports 77
+// for the 24-hour LA run).
+func (t *Trace) TotalSteps() int {
+	total := 0
+	for i := range t.Hours {
+		total += len(t.Hours[i].Steps)
+	}
+	return total
+}
+
+// Validate checks internal consistency.
+func (t *Trace) Validate() error {
+	if !t.Shape.Valid() {
+		return fmt.Errorf("core: trace has invalid shape %v", t.Shape)
+	}
+	if len(t.Hours) == 0 {
+		return fmt.Errorf("core: trace has no hours")
+	}
+	for hi := range t.Hours {
+		h := &t.Hours[hi]
+		if h.InBytes < 0 || h.OutBytes < 0 || h.PretransFlops < 0 {
+			return fmt.Errorf("core: hour %d has negative charges", hi)
+		}
+		if len(h.Steps) == 0 {
+			return fmt.Errorf("core: hour %d has no steps", hi)
+		}
+		for si := range h.Steps {
+			st := &h.Steps[si]
+			if len(st.LayerFlops) != t.Shape.Layers {
+				return fmt.Errorf("core: hour %d step %d has %d layer records, want %d",
+					hi, si, len(st.LayerFlops), t.Shape.Layers)
+			}
+			if len(st.CellFlops) != t.Shape.Cells {
+				return fmt.Errorf("core: hour %d step %d has %d cell records, want %d",
+					hi, si, len(st.CellFlops), t.Shape.Cells)
+			}
+		}
+	}
+	return nil
+}
+
+// SumChemFlops totals chemistry work over the run (sequential work, used
+// by the analytic performance model).
+func (t *Trace) SumChemFlops() float64 {
+	var total float64
+	for hi := range t.Hours {
+		for si := range t.Hours[hi].Steps {
+			for _, f := range t.Hours[hi].Steps[si].CellFlops {
+				total += f
+			}
+		}
+	}
+	return total
+}
+
+// SumTransportFlops totals transport work over the run, counting both the
+// leading and trailing call of every step.
+func (t *Trace) SumTransportFlops() float64 {
+	var total float64
+	for hi := range t.Hours {
+		for si := range t.Hours[hi].Steps {
+			for _, f := range t.Hours[hi].Steps[si].LayerFlops {
+				total += 2 * f
+			}
+		}
+	}
+	return total
+}
+
+// SumAeroFlops totals aerosol work over the run.
+func (t *Trace) SumAeroFlops() float64 {
+	var total float64
+	for hi := range t.Hours {
+		for si := range t.Hours[hi].Steps {
+			total += t.Hours[hi].Steps[si].AeroFlops
+		}
+	}
+	return total
+}
+
+// SumIOBytes totals the sequential I/O volume over the run.
+func (t *Trace) SumIOBytes() int64 {
+	var total int64
+	for hi := range t.Hours {
+		total += t.Hours[hi].InBytes + t.Hours[hi].OutBytes
+	}
+	return total
+}

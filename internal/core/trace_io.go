@@ -1,0 +1,80 @@
+package core
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveTrace serialises a trace to a gzip-compressed gob file.
+func SaveTrace(path string, tr *Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(tr); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: encoding trace: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadTrace deserialises a trace written by SaveTrace and validates it.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening trace %s: %w", path, err)
+	}
+	defer zr.Close()
+	var tr Trace
+	if err := gob.NewDecoder(zr).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("core: decoding trace %s: %w", path, err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("core: trace %s: %w", path, err)
+	}
+	return &tr, nil
+}
+
+// CachedTrace loads the trace at path, or computes and saves it when the
+// file is missing or unreadable. The benchmark harness uses this so the
+// expensive 24-hour physical runs of the LA and NE data sets execute once
+// per checkout.
+func CachedTrace(path string, compute func() (*Trace, error)) (*Trace, error) {
+	if tr, err := LoadTrace(path); err == nil {
+		return tr, nil
+	}
+	tr, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	if err := SaveTrace(path, tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

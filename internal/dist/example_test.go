@@ -1,0 +1,41 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"airshed/internal/dist"
+	"airshed/internal/machine"
+)
+
+// The LA concentration array redistributed from the chemistry distribution
+// to replicated (the aerosol step's all-gather), priced with the paper's
+// measured T3E parameters.
+func ExampleNewPlan() {
+	sh := dist.Shape{Species: 35, Layers: 5, Cells: 700} // A(35,5,700)
+	plan, err := dist.NewPlan(sh, dist.DChem, dist.DRepl, 8, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan)
+	fmt.Printf("worst node: %.2f ms\n", 1000*plan.MaxCost(machine.CrayT3E()))
+	// Output:
+	// A(*,*,BLOCK) -> A(*,*,*) on 8 nodes: 56 msgs, 6860000 bytes moved, 980000 bytes copied
+	// worst node: 24.54 ms
+}
+
+// The degree of useful parallelism of each Airshed phase (paper
+// Section 4.1): transport is bounded by the 5 layers, chemistry by the
+// 700 grid cells.
+func ExampleUsefulParallelism() {
+	sh := dist.Shape{Species: 35, Layers: 5, Cells: 700}
+	for _, p := range []int{4, 64, 1024} {
+		fmt.Printf("P=%4d: transport %d-way, chemistry %d-way\n",
+			p,
+			dist.UsefulParallelism(sh, dist.DTrans, p),
+			dist.UsefulParallelism(sh, dist.DChem, p))
+	}
+	// Output:
+	// P=   4: transport 4-way, chemistry 4-way
+	// P=  64: transport 5-way, chemistry 64-way
+	// P=1024: transport 5-way, chemistry 700-way
+}

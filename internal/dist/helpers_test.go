@@ -1,0 +1,9 @@
+package dist
+
+import "airshed/internal/machine"
+
+// testProfile returns the T3E profile with the paper's measured parameters,
+// which the closed-form checks in this package's tests use.
+func testProfile() *machine.Profile {
+	return machine.CrayT3E()
+}

@@ -1,0 +1,187 @@
+package figures
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"airshed/internal/core"
+	"airshed/internal/datasets"
+	"airshed/internal/machine"
+)
+
+// testContext builds a Context from a quick Mini run (standing in for the
+// LA and NE traces; every figure builder only needs a valid trace).
+func testContext(t *testing.T) *Context {
+	t.Helper()
+	ds, err := datasets.Mini()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.Config{
+		Dataset: ds, Machine: machine.CrayT3E(), Nodes: 1, Hours: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Context{LA: res.Trace, NE: res.Trace, Hours: 2}
+}
+
+func TestAllFiguresBuildAndRender(t *testing.T) {
+	ctx := testContext(t)
+	figs, err := ctx.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) < 8 {
+		t.Fatalf("only %d figures", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if f.ID == "" || f.Caption == "" {
+			t.Errorf("figure missing identity: %+v", f)
+		}
+		if seen[f.ID] {
+			t.Errorf("duplicate figure id %s", f.ID)
+		}
+		seen[f.ID] = true
+		if len(f.Tables) == 0 {
+			t.Errorf("%s: no tables", f.ID)
+		}
+		var buf bytes.Buffer
+		for _, tb := range f.Tables {
+			if err := tb.Write(&buf); err != nil {
+				t.Fatalf("%s: %v", f.ID, err)
+			}
+			if err := tb.WriteCSV(&buf); err != nil {
+				t.Fatalf("%s csv: %v", f.ID, err)
+			}
+		}
+		for _, ch := range f.Charts {
+			if err := ch.Write(&buf); err != nil {
+				t.Fatalf("%s chart: %v", f.ID, err)
+			}
+		}
+		for _, gg := range f.Gantts {
+			if err := gg.Write(&buf); err != nil {
+				t.Fatalf("%s gantt: %v", f.ID, err)
+			}
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s rendered nothing", f.ID)
+		}
+	}
+	for _, want := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig12", "fig13", "params"} {
+		if !seen[want] {
+			t.Errorf("figure %s missing", want)
+		}
+	}
+}
+
+func TestAblationsBuild(t *testing.T) {
+	ctx := testContext(t)
+	figs, err := ctx.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 8 {
+		t.Fatalf("got %d ablations, want 8", len(figs))
+	}
+	var buf bytes.Buffer
+	for _, f := range figs {
+		for _, tb := range f.Tables {
+			if err := tb.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"multiscale", "aerosol", "3-stage", "Scenario", "explicit"} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestWriteExperiments(t *testing.T) {
+	ctx := testContext(t)
+	var buf bytes.Buffer
+	if err := ctx.WriteExperiments(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figures 6 & 7",
+		"Figure 9", "Figure 13", "Section 4.3", "Verdict",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments record missing section %q", want)
+		}
+	}
+	if !strings.Contains(out, "HOLDS") {
+		t.Error("no claims held")
+	}
+}
+
+func TestFig3RequiresNE(t *testing.T) {
+	ctx := testContext(t)
+	ctx.NE = nil
+	if _, err := ctx.Fig3(); err == nil {
+		t.Error("Fig3 without NE trace accepted")
+	}
+}
+
+func TestLoadCachesTraces(t *testing.T) {
+	// Use the Mini dataset's speed... Load is wired to LA/NE, so only
+	// exercise the cache mechanics via a pre-seeded cache file.
+	ctx := testContext(t)
+	dir := t.TempDir()
+	if err := core.SaveTrace(filepath.Join(dir, "LA1h.trace"), ctx.LA); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.LA.TotalSteps() != ctx.LA.TotalSteps() {
+		t.Error("cache not used")
+	}
+	if loaded.NE != nil {
+		t.Error("NE trace loaded without being requested")
+	}
+}
+
+// The headline qualitative claims of the paper must hold on the replayed
+// figures (shape checks, not absolute numbers).
+func TestPaperShapeClaims(t *testing.T) {
+	ctx := testContext(t)
+	t3e, t3d, par := machine.CrayT3E(), machine.CrayT3D(), machine.IntelParagon()
+
+	// Performance portability: machine ordering holds at every node
+	// count, and ratios are roughly constant (parallel log curves).
+	var ratios []float64
+	for _, p := range NodeCounts {
+		a, err := core.Replay(ctx.LA, t3e, p, core.DataParallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.Replay(ctx.LA, t3d, p, core.DataParallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.Replay(ctx.LA, par, p, core.DataParallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(a.Ledger.Total < b.Ledger.Total && b.Ledger.Total < c.Ledger.Total) {
+			t.Errorf("p=%d: machine ordering violated", p)
+		}
+		ratios = append(ratios, c.Ledger.Total/a.Ledger.Total)
+	}
+	for _, r := range ratios {
+		if r < 0.5*ratios[0] || r > 2*ratios[0] {
+			t.Errorf("Paragon/T3E ratio drifts wildly: %v", ratios)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package figures
+
+import (
+	"airshed/internal/dist"
+	"airshed/internal/report"
+)
+
+// StudyLoadBalance quantifies the chemistry load imbalance: the analytic
+// model assumes uniform per-cell work (time = sequential / useful
+// parallelism), but the urban-core cells run stiffer photochemistry and
+// cost more, so the block partition's most-loaded node exceeds the
+// average — the source of the gap between the Figure 7 predictions and
+// measurements that the paper attributes to effects "the aggregate model
+// cannot see".
+func (ctx *Context) StudyLoadBalance() (*Figure, error) {
+	fig := &Figure{
+		ID: "study-loadbalance",
+		Caption: "Study: chemistry load imbalance of the BLOCK cell partition, LA data set " +
+			"(imbalance = most-loaded node / average node; 1.0 is perfect)",
+	}
+	tr := ctx.LA
+	// Aggregate per-cell work over the run.
+	cellWork := make([]float64, tr.Shape.Cells)
+	for hi := range tr.Hours {
+		for si := range tr.Hours[hi].Steps {
+			for c, f := range tr.Hours[hi].Steps[si].CellFlops {
+				cellWork[c] += f
+			}
+		}
+	}
+	total := 0.0
+	minW, maxW := cellWork[0], cellWork[0]
+	for _, w := range cellWork {
+		total += w
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+
+	tb := report.NewTable("Imbalance vs node count",
+		"Nodes", "Avg node work", "Max node work", "Imbalance", "Parallel efficiency %")
+	for _, p := range NodeCounts {
+		maxNode := 0.0
+		for n := 0; n < p; n++ {
+			iv := dist.BlockOwner(tr.Shape.Cells, p, n)
+			w := 0.0
+			for c := iv.Lo; c < iv.Hi; c++ {
+				w += cellWork[c]
+			}
+			if w > maxNode {
+				maxNode = w
+			}
+		}
+		avg := total / float64(p)
+		tb.AddRow(p, avg, maxNode, maxNode/avg, 100*avg/maxNode)
+	}
+	fig.Tables = append(fig.Tables, tb)
+
+	cells := report.NewTable("Per-cell chemistry work spread (flops over the run)",
+		"Statistic", "Value")
+	cells.AddRow("cells", tr.Shape.Cells)
+	cells.AddRow("min cell", minW)
+	cells.AddRow("mean cell", total/float64(tr.Shape.Cells))
+	cells.AddRow("max cell", maxW)
+	cells.AddRow("max/min", maxW/minW)
+	fig.Tables = append(fig.Tables, cells)
+	return fig, nil
+}
+
+// StudyDiurnalWork profiles the charged work per simulated hour: the
+// paper's "number of time steps determined at runtime" and the stiff
+// integrator's adaptivity make the cost of an Airshed hour follow the
+// meteorology — more steps when winds peak, costlier chemistry when
+// photochemistry is active.
+func (ctx *Context) StudyDiurnalWork() (*Figure, error) {
+	fig := &Figure{
+		ID: "study-diurnal",
+		Caption: "Study: charged work per simulated hour, LA data set " +
+			"(steps follow the wind CFL; chemistry work follows the diurnal photochemistry)",
+	}
+	tr := ctx.LA
+	tb := report.NewTable("Per-hour work profile",
+		"Hour", "Steps", "Chemistry (Gflop)", "Transport (Gflop)", "Per-step chemistry (Gflop)")
+	ch := report.NewChart("Chemistry work per hour (Gflop)")
+	var xs, ys []float64
+	for hi := range tr.Hours {
+		h := &tr.Hours[hi]
+		var chem, trans float64
+		for si := range h.Steps {
+			for _, f := range h.Steps[si].CellFlops {
+				chem += f
+			}
+			for _, f := range h.Steps[si].LayerFlops {
+				trans += 2 * f
+			}
+		}
+		tb.AddRow(hi, len(h.Steps), chem/1e9, trans/1e9, chem/1e9/float64(len(h.Steps)))
+		xs = append(xs, float64(hi))
+		ys = append(ys, chem/1e9)
+	}
+	ch.Add("chemistry Gflop", xs, ys)
+	fig.Tables = append(fig.Tables, tb)
+	fig.Charts = append(fig.Charts, ch)
+	return fig, nil
+}

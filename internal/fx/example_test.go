@@ -1,0 +1,42 @@
+package fx_test
+
+import (
+	"fmt"
+
+	"airshed/internal/fx"
+)
+
+// Sizing the Airshed Section 5 pipeline on 32 nodes: the sequential I/O
+// stages get one node each and the data-parallel computation the rest —
+// the allocation the Fx task-mapping machinery (the paper's references
+// [26, 27]) derives automatically.
+func ExampleOptimalPipelineMapping() {
+	stages := []fx.TaskCost{
+		fx.SequentialCost(9),                 // inputhour + pretrans
+		fx.DataParallelCost(1200, 700, 0.05), // transport+chemistry, 700-way parallel
+		fx.SequentialCost(7),                 // outputhour
+	}
+	m, err := fx.OptimalPipelineMapping(32, stages)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("allocation: input=%d compute=%d output=%d\n", m.Nodes[0], m.Nodes[1], m.Nodes[2])
+	fmt.Printf("pipeline period: %.2f s per hour\n", m.Bottleneck)
+	// Output:
+	// allocation: input=1 compute=30 output=1
+	// pipeline period: 41.19 s per hour
+}
+
+// A stage whose parallelism is bounded (the 2-D transport operator's
+// 5-layer limit) stops receiving nodes once they become useless.
+func ExampleDataParallelCost() {
+	transport := fx.DataParallelCost(100, 5, 0)
+	for _, p := range []int{1, 4, 5, 64} {
+		fmt.Printf("p=%2d: %.0f s\n", p, transport(p))
+	}
+	// Output:
+	// p= 1: 100 s
+	// p= 4: 40 s
+	// p= 5: 20 s
+	// p=64: 20 s
+}

@@ -1,0 +1,429 @@
+// Package fx is an explicit Go reconstruction of the programming model the
+// paper's Fx compiler provides: HPF-style distributed arrays with
+// compiler-generated redistribution communication, data-parallel loops
+// over owned elements, and task parallelism on node subgroups.
+//
+// The runtime executes real data movement and real numerics in ordinary Go
+// while charging a virtual bulk-synchronous machine (package vm) for what
+// each operation would have cost on the target computer (package machine),
+// using exactly the per-node message/byte/copy accounting of the paper's
+// Section 4 performance model (package dist).
+package fx
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"airshed/internal/dist"
+	"airshed/internal/vm"
+)
+
+// Runtime couples the virtual machine with the distributed-array layer.
+type Runtime struct {
+	VM *vm.Machine
+	// GoParallel enables real goroutine parallelism inside ParallelNodes
+	// (the numerics are independent per node, so results are identical
+	// either way; this only affects host wall-clock time).
+	GoParallel bool
+}
+
+// NewRuntime wraps a virtual machine.
+func NewRuntime(m *vm.Machine) *Runtime {
+	return &Runtime{VM: m, GoParallel: true}
+}
+
+// P returns the machine size.
+func (rt *Runtime) P() int { return rt.VM.P() }
+
+// Array is a distributed 3-D concentration array A(species, layers,
+// cells). Replicated arrays share a single backing buffer across nodes
+// (the replicas are bit-identical by construction, and sharing keeps
+// 128-node runs addressable); partitioned arrays hold one shard per node.
+type Array struct {
+	rt    *Runtime
+	Shape dist.Shape
+	d     dist.Dist
+
+	repl   []float64   // backing when d.Kind == Replicated
+	shards [][]float64 // per-node shards otherwise
+}
+
+// NewArray allocates a distributed array with the given distribution,
+// zero-filled.
+func NewArray(rt *Runtime, sh dist.Shape, d dist.Dist) (*Array, error) {
+	if !sh.Valid() {
+		return nil, fmt.Errorf("fx: invalid shape %v", sh)
+	}
+	a := &Array{rt: rt, Shape: sh, d: d}
+	if err := a.alloc(d); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewArrayFrom allocates a distributed array initialised from a full
+// global array in canonical layout (species fastest).
+func NewArrayFrom(rt *Runtime, sh dist.Shape, d dist.Dist, global []float64) (*Array, error) {
+	if len(global) != sh.Len() {
+		return nil, fmt.Errorf("fx: global array has %d values, want %d", len(global), sh.Len())
+	}
+	a, err := NewArray(rt, sh, d)
+	if err != nil {
+		return nil, err
+	}
+	a.scatterGlobal(global)
+	return a, nil
+}
+
+func (a *Array) alloc(d dist.Dist) error {
+	p := a.rt.P()
+	a.d = d
+	if d.Kind == dist.Replicated {
+		a.repl = make([]float64, a.Shape.Len())
+		a.shards = nil
+		return nil
+	}
+	a.repl = nil
+	a.shards = make([][]float64, p)
+	for n := 0; n < p; n++ {
+		a.shards[n] = make([]float64, dist.OwnedCount(a.Shape, d, p, n))
+	}
+	return nil
+}
+
+// Dist returns the current distribution.
+func (a *Array) Dist() dist.Dist { return a.d }
+
+// localOffset maps a global element (s, l, c) to the offset inside the
+// owning node's shard. The caller must pass the owning node.
+func (a *Array) localOffset(node, s, l, c int) int {
+	sh := a.Shape
+	switch a.d.Kind {
+	case dist.Replicated:
+		return sh.Index(s, l, c)
+	case dist.Block:
+		switch a.d.Dim {
+		case dist.AxisCells:
+			lo := dist.BlockOwner(sh.Cells, a.rt.P(), node).Lo
+			return s + sh.Species*(l+sh.Layers*(c-lo))
+		case dist.AxisLayers:
+			iv := dist.BlockOwner(sh.Layers, a.rt.P(), node)
+			return s + sh.Species*((l-iv.Lo)+iv.Len()*c)
+		default: // species axis
+			iv := dist.BlockOwner(sh.Species, a.rt.P(), node)
+			return (s - iv.Lo) + iv.Len()*(l+sh.Layers*c)
+		}
+	case dist.Cyclic:
+		p := a.rt.P()
+		switch a.d.Dim {
+		case dist.AxisCells:
+			return s + sh.Species*(l+sh.Layers*((c-node)/p))
+		case dist.AxisLayers:
+			nloc := dist.CyclicCount(sh.Layers, p, node)
+			return s + sh.Species*((l-node)/p+nloc*c)
+		default:
+			nloc := dist.CyclicCount(sh.Species, p, node)
+			return (s-node)/p + nloc*(l+sh.Layers*c)
+		}
+	default:
+		panic("fx: bad distribution kind")
+	}
+}
+
+// owner returns the node owning element (s, l, c); for replicated arrays
+// it returns 0 (any node).
+func (a *Array) owner(s, l, c int) int {
+	p := a.rt.P()
+	switch a.d.Kind {
+	case dist.Replicated:
+		return 0
+	case dist.Block:
+		switch a.d.Dim {
+		case dist.AxisCells:
+			return dist.BlockOwnerOf(a.Shape.Cells, p, c)
+		case dist.AxisLayers:
+			return dist.BlockOwnerOf(a.Shape.Layers, p, l)
+		default:
+			return dist.BlockOwnerOf(a.Shape.Species, p, s)
+		}
+	case dist.Cyclic:
+		switch a.d.Dim {
+		case dist.AxisCells:
+			return dist.CyclicOwnerOf(p, c)
+		case dist.AxisLayers:
+			return dist.CyclicOwnerOf(p, l)
+		default:
+			return dist.CyclicOwnerOf(p, s)
+		}
+	default:
+		panic("fx: bad distribution kind")
+	}
+}
+
+// storage returns the buffer holding element data for a node.
+func (a *Array) storage(node int) []float64 {
+	if a.d.Kind == dist.Replicated {
+		return a.repl
+	}
+	return a.shards[node]
+}
+
+// At reads element (s, l, c) from its owner's shard.
+func (a *Array) At(s, l, c int) float64 {
+	n := a.owner(s, l, c)
+	return a.storage(n)[a.localOffset(n, s, l, c)]
+}
+
+// Set writes element (s, l, c) into its owner's shard (and, for replicated
+// arrays, the shared replica).
+func (a *Array) Set(s, l, c int, v float64) {
+	n := a.owner(s, l, c)
+	a.storage(n)[a.localOffset(n, s, l, c)] = v
+}
+
+// scatterGlobal loads a full canonical array into the current shards.
+func (a *Array) scatterGlobal(global []float64) {
+	if a.d.Kind == dist.Replicated {
+		copy(a.repl, global)
+		return
+	}
+	sh := a.Shape
+	for c := 0; c < sh.Cells; c++ {
+		for l := 0; l < sh.Layers; l++ {
+			for s := 0; s < sh.Species; s++ {
+				n := a.owner(s, l, c)
+				a.shards[n][a.localOffset(n, s, l, c)] = global[sh.Index(s, l, c)]
+			}
+		}
+	}
+}
+
+// Gather assembles the full canonical array (an inspection helper; it does
+// not charge communication).
+func (a *Array) Gather() []float64 {
+	sh := a.Shape
+	out := make([]float64, sh.Len())
+	if a.d.Kind == dist.Replicated {
+		copy(out, a.repl)
+		return out
+	}
+	for c := 0; c < sh.Cells; c++ {
+		for l := 0; l < sh.Layers; l++ {
+			for s := 0; s < sh.Species; s++ {
+				n := a.owner(s, l, c)
+				out[sh.Index(s, l, c)] = a.shards[n][a.localOffset(n, s, l, c)]
+			}
+		}
+	}
+	return out
+}
+
+// Redistribute changes the distribution, physically moving the data and
+// charging every node its share of the communication plan (the paper's
+// Ct = L*m + G*b + H*c), followed by a barrier. It returns the plan for
+// inspection.
+func (a *Array) Redistribute(to dist.Dist) (*dist.Plan, error) {
+	return a.RedistributeOn(a.rt.VM.AllNodes(), to)
+}
+
+// RedistributeOn is Redistribute restricted to a node subgroup (task
+// parallelism): costs are charged to the subgroup's nodes and the barrier
+// covers only the subgroup. The distribution geometry is computed over the
+// subgroup size, mirroring Fx's distribution onto node subsets.
+//
+// Note: the array must be distributed over exactly this subgroup; the
+// top-level Airshed driver uses full-machine arrays, while the pipelined
+// driver keeps its stage arrays on stage subgroups throughout.
+func (a *Array) RedistributeOn(nodes []int, to dist.Dist) (*dist.Plan, error) {
+	prof := a.rt.VM.Profile()
+	plan, err := dist.NewPlan(a.Shape, a.d, to, len(nodes), prof.WordSize)
+	if err != nil {
+		return nil, err
+	}
+	// Physical move: gather via the old distribution, reallocate, load.
+	// (The virtual cost is the plan's; the host-side implementation is
+	// free to be simple.)
+	if a.d != to {
+		global := a.Gather()
+		if err := a.alloc(to); err != nil {
+			return nil, err
+		}
+		a.scatterGlobal(global)
+	}
+	for i, n := range nodes {
+		cost := plan.Traffic[i].Cost(prof)
+		a.rt.VM.ChargeSeconds(n, vm.CatComm, cost)
+	}
+	a.rt.VM.BarrierGroup(nodes)
+	return plan, nil
+}
+
+// OwnedCells returns the cell interval node owns (the array must be
+// DChem-style: Block over cells).
+func (a *Array) OwnedCells(node int) (dist.Interval, error) {
+	if a.d.Kind != dist.Block || a.d.Dim != dist.AxisCells {
+		return dist.Interval{}, fmt.Errorf("fx: OwnedCells on %v", a.d)
+	}
+	return dist.BlockOwner(a.Shape.Cells, a.rt.P(), node), nil
+}
+
+// OwnedLayers returns the layer interval node owns (the array must be
+// DTrans-style: Block over layers).
+func (a *Array) OwnedLayers(node int) (dist.Interval, error) {
+	if a.d.Kind != dist.Block || a.d.Dim != dist.AxisLayers {
+		return dist.Interval{}, fmt.Errorf("fx: OwnedLayers on %v", a.d)
+	}
+	return dist.BlockOwner(a.Shape.Layers, a.rt.P(), node), nil
+}
+
+// CellBlock returns the contiguous (species x layers) block of one owned
+// cell in a DChem-distributed array: exactly the column the chemistry
+// operator consumes. Mutations write through to the shard.
+func (a *Array) CellBlock(node, c int) ([]float64, error) {
+	iv, err := a.OwnedCells(node)
+	if err != nil {
+		return nil, err
+	}
+	if !iv.Contains(c) {
+		return nil, fmt.Errorf("fx: node %d does not own cell %d", node, c)
+	}
+	sz := a.Shape.Species * a.Shape.Layers
+	off := a.localOffset(node, 0, 0, c)
+	return a.shards[node][off : off+sz], nil
+}
+
+// GatherLayerField copies the (species s, layer l) horizontal field into
+// buf (length cells) from a DTrans-distributed array owned by node.
+func (a *Array) GatherLayerField(node, s, l int, buf []float64) error {
+	iv, err := a.OwnedLayers(node)
+	if err != nil {
+		return err
+	}
+	if !iv.Contains(l) {
+		return fmt.Errorf("fx: node %d does not own layer %d", node, l)
+	}
+	if len(buf) != a.Shape.Cells {
+		return fmt.Errorf("fx: buffer has %d cells, want %d", len(buf), a.Shape.Cells)
+	}
+	sh := a.Shape
+	nloc := iv.Len()
+	shard := a.shards[node]
+	base := s + sh.Species*(l-iv.Lo)
+	stride := sh.Species * nloc
+	for c := 0; c < sh.Cells; c++ {
+		buf[c] = shard[base+stride*c]
+	}
+	return nil
+}
+
+// ScatterLayerField writes buf back into the (s, l) field of a
+// DTrans-distributed array owned by node.
+func (a *Array) ScatterLayerField(node, s, l int, buf []float64) error {
+	iv, err := a.OwnedLayers(node)
+	if err != nil {
+		return err
+	}
+	if !iv.Contains(l) {
+		return fmt.Errorf("fx: node %d does not own layer %d", node, l)
+	}
+	if len(buf) != a.Shape.Cells {
+		return fmt.Errorf("fx: buffer has %d cells, want %d", len(buf), a.Shape.Cells)
+	}
+	sh := a.Shape
+	nloc := iv.Len()
+	shard := a.shards[node]
+	base := s + sh.Species*(l-iv.Lo)
+	stride := sh.Species * nloc
+	for c := 0; c < sh.Cells; c++ {
+		shard[base+stride*c] = buf[c]
+	}
+	return nil
+}
+
+// Replica returns the shared backing buffer of a replicated array (the
+// canonical layout). It errors for partitioned arrays.
+func (a *Array) Replica() ([]float64, error) {
+	if a.d.Kind != dist.Replicated {
+		return nil, fmt.Errorf("fx: Replica on %v", a.d)
+	}
+	return a.repl, nil
+}
+
+// ParallelNodes runs body once per machine node (concurrently when
+// GoParallel is set), then charges each node the work units the body
+// returned under the given category, and barriers. The bodies must touch
+// disjoint data (they own disjoint shard regions), so results are
+// independent of scheduling.
+func (rt *Runtime) ParallelNodes(cat vm.Category, body func(node int) (float64, error)) error {
+	return rt.ParallelGroup(rt.VM.AllNodes(), cat, body)
+}
+
+// ParallelGroup is ParallelNodes restricted to a node subgroup.
+func (rt *Runtime) ParallelGroup(nodes []int, cat vm.Category, body func(node int) (float64, error)) error {
+	flops := make([]float64, len(nodes))
+	errs := make([]error, len(nodes))
+	if rt.GoParallel {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, n := range nodes {
+			wg.Add(1)
+			go func(i, n int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				flops[i], errs[i] = body(n)
+			}(i, n)
+		}
+		wg.Wait()
+	} else {
+		for i, n := range nodes {
+			flops[i], errs[i] = body(n)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("fx: node %d: %w", nodes[i], err)
+		}
+	}
+	for i, n := range nodes {
+		rt.VM.ChargeCompute(n, cat, flops[i])
+	}
+	rt.VM.BarrierGroup(nodes)
+	return nil
+}
+
+// Group is a node subgroup used for task parallelism.
+type Group []int
+
+// SplitGroups partitions p nodes into groups of the given sizes; sizes
+// must sum to at most p, and the remainder goes to the last group when
+// grow is true.
+func SplitGroups(p int, sizes ...int) ([]Group, error) {
+	total := 0
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("fx: group sizes must be positive, got %v", sizes)
+		}
+		total += s
+	}
+	if total > p {
+		return nil, fmt.Errorf("fx: group sizes %v exceed %d nodes", sizes, p)
+	}
+	groups := make([]Group, len(sizes))
+	next := 0
+	for gi, s := range sizes {
+		g := make(Group, s)
+		for i := 0; i < s; i++ {
+			g[i] = next
+			next++
+		}
+		groups[gi] = g
+	}
+	// Distribute any remaining nodes to the last group.
+	for next < p {
+		groups[len(groups)-1] = append(groups[len(groups)-1], next)
+		next++
+	}
+	return groups, nil
+}

@@ -1,0 +1,376 @@
+package fx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"airshed/internal/dist"
+	"airshed/internal/machine"
+	"airshed/internal/vm"
+)
+
+func newRT(t *testing.T, p int) *Runtime {
+	t.Helper()
+	m, err := vm.New(machine.CrayT3E(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(m)
+	rt.GoParallel = false // deterministic charge ordering in tests
+	return rt
+}
+
+func seqShape() dist.Shape { return dist.Shape{Species: 7, Layers: 5, Cells: 30} }
+
+// fillPattern writes a recognisable value into each element.
+func pattern(sh dist.Shape) []float64 {
+	g := make([]float64, sh.Len())
+	for c := 0; c < sh.Cells; c++ {
+		for l := 0; l < sh.Layers; l++ {
+			for s := 0; s < sh.Species; s++ {
+				g[sh.Index(s, l, c)] = float64(s) + 100*float64(l) + 10000*float64(c)
+			}
+		}
+	}
+	return g
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	rt := newRT(t, 4)
+	if _, err := NewArray(rt, dist.Shape{}, dist.DRepl); err == nil {
+		t.Error("invalid shape accepted")
+	}
+	if _, err := NewArrayFrom(rt, seqShape(), dist.DRepl, make([]float64, 3)); err == nil {
+		t.Error("short global accepted")
+	}
+}
+
+func TestArrayRoundTripAllDists(t *testing.T) {
+	sh := seqShape()
+	global := pattern(sh)
+	dists := []dist.Dist{
+		dist.DRepl, dist.DTrans, dist.DChem,
+		{Kind: dist.Block, Dim: dist.AxisSpecies},
+		{Kind: dist.Cyclic, Dim: dist.AxisCells},
+		{Kind: dist.Cyclic, Dim: dist.AxisLayers},
+		{Kind: dist.Cyclic, Dim: dist.AxisSpecies},
+	}
+	for _, d := range dists {
+		for _, p := range []int{1, 2, 3, 5, 8, 16} {
+			rt := newRT(t, p)
+			a, err := NewArrayFrom(rt, sh, d, global)
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", d, p, err)
+			}
+			got := a.Gather()
+			for i := range global {
+				if got[i] != global[i] {
+					t.Fatalf("%v p=%d: element %d = %g, want %g", d, p, i, got[i], global[i])
+				}
+			}
+			// Element access.
+			if v := a.At(3, 2, 7); v != global[sh.Index(3, 2, 7)] {
+				t.Fatalf("%v p=%d: At = %g", d, p, v)
+			}
+			a.Set(3, 2, 7, -1)
+			if v := a.At(3, 2, 7); v != -1 {
+				t.Fatalf("%v p=%d: Set/At = %g", d, p, v)
+			}
+		}
+	}
+}
+
+// Redistribution must preserve array contents exactly — the paper's
+// compiler-generated communication moves data without transforming it.
+func TestRedistributePreservesData(t *testing.T) {
+	sh := seqShape()
+	global := pattern(sh)
+	cycle := []dist.Dist{dist.DRepl, dist.DTrans, dist.DChem, dist.DRepl, dist.DChem, dist.DTrans}
+	for _, p := range []int{1, 2, 4, 5, 8, 16} {
+		rt := newRT(t, p)
+		a, err := NewArrayFrom(rt, sh, dist.DRepl, global)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range cycle {
+			if _, err := a.Redistribute(d); err != nil {
+				t.Fatalf("p=%d -> %v: %v", p, d, err)
+			}
+			got := a.Gather()
+			for i := range global {
+				if got[i] != global[i] {
+					t.Fatalf("p=%d after -> %v: element %d corrupted", p, d, i)
+				}
+			}
+		}
+	}
+}
+
+// The virtual cost of a redistribution must equal the plan's max node cost
+// (bulk-synchronous law).
+func TestRedistributeChargesPlanCost(t *testing.T) {
+	sh := dist.Shape{Species: 35, Layers: 5, Cells: 700}
+	for _, p := range []int{4, 8, 16} {
+		rt := newRT(t, p)
+		a, err := NewArray(rt, sh, dist.DChem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := rt.VM.Elapsed()
+		plan, err := a.Redistribute(dist.DRepl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed := rt.VM.Elapsed() - before
+		want := plan.MaxCost(rt.VM.Profile())
+		if math.Abs(elapsed-want) > 1e-12 {
+			t.Errorf("p=%d: charged %g, plan max cost %g", p, elapsed, want)
+		}
+		if got := rt.VM.CategorySeconds(vm.CatComm); math.Abs(got-want) > 1e-12 {
+			t.Errorf("p=%d: comm category %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestOwnedViews(t *testing.T) {
+	sh := seqShape()
+	rt := newRT(t, 4)
+	a, err := NewArrayFrom(rt, sh, dist.DChem, pattern(sh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OwnedCells partitions the cells.
+	covered := 0
+	for n := 0; n < 4; n++ {
+		iv, err := a.OwnedCells(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered += iv.Len()
+	}
+	if covered != sh.Cells {
+		t.Errorf("owned cells cover %d of %d", covered, sh.Cells)
+	}
+	if _, err := a.OwnedLayers(0); err == nil {
+		t.Error("OwnedLayers on DChem accepted")
+	}
+
+	// CellBlock exposes the (species, layers) column.
+	iv, _ := a.OwnedCells(1)
+	c := iv.Lo
+	block, err := a.CellBlock(1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block) != sh.Species*sh.Layers {
+		t.Fatalf("block length %d", len(block))
+	}
+	for l := 0; l < sh.Layers; l++ {
+		for s := 0; s < sh.Species; s++ {
+			want := a.At(s, l, c)
+			if block[s+sh.Species*l] != want {
+				t.Fatalf("block[%d,%d] = %g, want %g", s, l, block[s+sh.Species*l], want)
+			}
+		}
+	}
+	// Mutation writes through.
+	block[0] = -42
+	if a.At(0, 0, c) != -42 {
+		t.Error("CellBlock is not a view")
+	}
+	if _, err := a.CellBlock(1, sh.Cells+5); err == nil {
+		t.Error("unowned cell accepted")
+	}
+}
+
+func TestLayerFieldGatherScatter(t *testing.T) {
+	sh := seqShape()
+	rt := newRT(t, 3)
+	a, err := NewArrayFrom(rt, sh, dist.DTrans, pattern(sh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, sh.Cells)
+	for n := 0; n < 3; n++ {
+		iv, err := a.OwnedLayers(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := iv.Lo; l < iv.Hi; l++ {
+			for s := 0; s < sh.Species; s++ {
+				if err := a.GatherLayerField(n, s, l, buf); err != nil {
+					t.Fatal(err)
+				}
+				for c := 0; c < sh.Cells; c++ {
+					if buf[c] != a.At(s, l, c) {
+						t.Fatalf("gather mismatch at s=%d l=%d c=%d", s, l, c)
+					}
+				}
+				// Scatter a transformed field and verify.
+				for c := range buf {
+					buf[c] += 0.5
+				}
+				if err := a.ScatterLayerField(n, s, l, buf); err != nil {
+					t.Fatal(err)
+				}
+				if a.At(s, 1*0+l, 0) != buf[0] {
+					t.Fatal("scatter did not write through")
+				}
+			}
+		}
+	}
+	// Errors.
+	if err := a.GatherLayerField(0, 0, sh.Layers+1, buf); err == nil {
+		t.Error("unowned layer accepted")
+	}
+	if err := a.GatherLayerField(0, 0, 0, buf[:3]); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestReplica(t *testing.T) {
+	sh := seqShape()
+	rt := newRT(t, 2)
+	a, err := NewArrayFrom(rt, sh, dist.DRepl, pattern(sh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.Replica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != sh.Len() {
+		t.Fatalf("replica length %d", len(r))
+	}
+	b, _ := NewArray(rt, sh, dist.DChem)
+	if _, err := b.Replica(); err == nil {
+		t.Error("Replica on partitioned array accepted")
+	}
+}
+
+func TestParallelNodesCharges(t *testing.T) {
+	rt := newRT(t, 4)
+	err := rt.ParallelNodes(vm.CatChemistry, func(node int) (float64, error) {
+		return float64(node+1) * 1e6, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Barrier takes the max: node 3's 4e6 flops.
+	want := rt.VM.Profile().ComputeTime(4e6)
+	if got := rt.VM.Elapsed(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("elapsed %g, want %g", got, want)
+	}
+}
+
+func TestParallelNodesConcurrent(t *testing.T) {
+	m, err := vm.New(machine.CrayT3E(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(m) // GoParallel on
+	results := make([]float64, 8)
+	err = rt.ParallelNodes(vm.CatTransport, func(node int) (float64, error) {
+		results[node] = float64(node) // disjoint writes
+		return 1e6, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v != float64(i) {
+			t.Errorf("node %d body did not run", i)
+		}
+	}
+}
+
+func TestParallelNodesError(t *testing.T) {
+	rt := newRT(t, 4)
+	err := rt.ParallelNodes(vm.CatOther, func(node int) (float64, error) {
+		if node == 2 {
+			return 0, errTest
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Error("body error swallowed")
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "test error" }
+
+func TestSplitGroups(t *testing.T) {
+	groups, err := SplitGroups(10, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	if len(groups[0]) != 2 {
+		t.Errorf("group 0 size %d", len(groups[0]))
+	}
+	// Remainder (5 nodes) joins the last group.
+	if len(groups[1]) != 8 {
+		t.Errorf("group 1 size %d, want 8 (3 + remainder)", len(groups[1]))
+	}
+	// Disjoint coverage.
+	seen := map[int]bool{}
+	for _, g := range groups {
+		for _, n := range g {
+			if seen[n] {
+				t.Fatalf("node %d in two groups", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("groups cover %d of 10 nodes", len(seen))
+	}
+	if _, err := SplitGroups(4, 3, 3); err == nil {
+		t.Error("oversized split accepted")
+	}
+	if _, err := SplitGroups(4, 0); err == nil {
+		t.Error("zero group size accepted")
+	}
+}
+
+// Property: redistribution through any sequence of the Airshed cycle
+// preserves data for random shapes and node counts.
+func TestRedistributeQuick(t *testing.T) {
+	f := func(sp, la, ce, pp uint8) bool {
+		sh := dist.Shape{Species: int(sp%6) + 1, Layers: int(la%5) + 1, Cells: int(ce%20) + 1}
+		p := int(pp%12) + 1
+		m, err := vm.New(machine.CrayT3E(), p)
+		if err != nil {
+			return false
+		}
+		rt := NewRuntime(m)
+		rt.GoParallel = false
+		global := pattern(sh)
+		a, err := NewArrayFrom(rt, sh, dist.DRepl, global)
+		if err != nil {
+			return false
+		}
+		for _, d := range []dist.Dist{dist.DTrans, dist.DChem, dist.DRepl} {
+			if _, err := a.Redistribute(d); err != nil {
+				return false
+			}
+		}
+		got := a.Gather()
+		for i := range global {
+			if got[i] != global[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

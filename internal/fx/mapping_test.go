@@ -1,0 +1,173 @@
+package fx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimalPipelineMappingBasics(t *testing.T) {
+	// Two identical perfectly parallel stages on 8 nodes: 4 + 4.
+	c := DataParallelCost(100, 1000, 0)
+	m, err := OptimalPipelineMapping(8, []TaskCost{c, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes[0]+m.Nodes[1] != 8 {
+		t.Errorf("allocation %v does not use all nodes", m.Nodes)
+	}
+	if m.Nodes[0] != 4 || m.Nodes[1] != 4 {
+		t.Errorf("unbalanced allocation %v for identical stages", m.Nodes)
+	}
+	if math.Abs(m.Bottleneck-25) > 1e-9 {
+		t.Errorf("bottleneck %g, want 25", m.Bottleneck)
+	}
+}
+
+func TestOptimalPipelineMappingSkewed(t *testing.T) {
+	// A heavy stage (cost 90) and a light one (cost 10): the heavy stage
+	// must get almost all nodes.
+	heavy := DataParallelCost(90, 1000, 0)
+	light := DataParallelCost(10, 1000, 0)
+	m, err := OptimalPipelineMapping(10, []TaskCost{heavy, light})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes[0] < 8 {
+		t.Errorf("heavy stage got %d of 10 nodes", m.Nodes[0])
+	}
+	if m.Nodes[0]+m.Nodes[1] > 10 {
+		t.Errorf("allocation %v exceeds budget", m.Nodes)
+	}
+}
+
+func TestOptimalPipelineMappingSequentialStages(t *testing.T) {
+	// The Airshed Section 5 structure: sequential input, parallel
+	// compute, sequential output.
+	stages := []TaskCost{
+		SequentialCost(8),
+		DataParallelCost(1000, 700, 1),
+		SequentialCost(5),
+	}
+	m, err := OptimalPipelineMapping(64, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes[0] != 1 || m.Nodes[2] != 1 {
+		t.Errorf("sequential stages got %v nodes (want 1 each)", m.Nodes)
+	}
+	// The ceil staircase makes every p in [59, 62] equivalent
+	// (ceil(700/p) = 12); the optimizer returns the smallest.
+	if m.Nodes[1] < 59 || m.Nodes[1] > 62 {
+		t.Errorf("compute stage got %d nodes, want 59-62", m.Nodes[1])
+	}
+	want := 1000*float64((700+58)/59)/700 + 1
+	if math.Abs(m.Bottleneck-want) > 1e-9 {
+		t.Errorf("bottleneck %g, want %g", m.Bottleneck, want)
+	}
+	if m.Latency < m.Bottleneck {
+		t.Error("latency below bottleneck")
+	}
+}
+
+func TestOptimalPipelineMappingParallelismLimit(t *testing.T) {
+	// A stage limited to 5-way parallelism (the transport situation)
+	// should not receive more than 5 useful nodes even when many are
+	// available.
+	limited := DataParallelCost(100, 5, 0)
+	big := DataParallelCost(500, 10000, 0)
+	m, err := OptimalPipelineMapping(32, []TaskCost{limited, big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes[0] > 5 {
+		t.Errorf("layer-limited stage got %d nodes (useless beyond 5)", m.Nodes[0])
+	}
+}
+
+func TestOptimalPipelineMappingErrors(t *testing.T) {
+	if _, err := OptimalPipelineMapping(4, nil); err == nil {
+		t.Error("no stages accepted")
+	}
+	if _, err := OptimalPipelineMapping(1, []TaskCost{SequentialCost(1), SequentialCost(1)}); err == nil {
+		t.Error("fewer nodes than stages accepted")
+	}
+	increasing := func(p int) float64 { return float64(p) }
+	if _, err := OptimalPipelineMapping(4, []TaskCost{increasing}); err == nil {
+		t.Error("increasing cost function accepted")
+	}
+	negative := func(int) float64 { return -1 }
+	if _, err := OptimalPipelineMapping(4, []TaskCost{negative}); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+// Property: the optimal bottleneck is never worse than an even split, and
+// allocations always respect the budget with every stage >= 1.
+func TestOptimalPipelineMappingQuick(t *testing.T) {
+	f := func(seqs [3]uint8, totalSeed uint8) bool {
+		total := int(totalSeed%29) + 3
+		stages := make([]TaskCost, 3)
+		for i := range stages {
+			stages[i] = DataParallelCost(float64(seqs[i]%100)+1, 50, 0.1)
+		}
+		m, err := OptimalPipelineMapping(total, stages)
+		if err != nil {
+			return false
+		}
+		used := 0
+		for _, p := range m.Nodes {
+			if p < 1 {
+				return false
+			}
+			used += p
+		}
+		if used > total {
+			return false
+		}
+		// Compare with the even split.
+		even := total / 3
+		if even < 1 {
+			even = 1
+		}
+		evenBottleneck := 0.0
+		for i := range stages {
+			if v := stages[i](even); v > evenBottleneck {
+				evenBottleneck = v
+			}
+		}
+		return m.Bottleneck <= evenBottleneck+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exhaustive cross-check on small instances: the parametric search must
+// match brute force enumeration.
+func TestOptimalPipelineMappingExhaustive(t *testing.T) {
+	stages := []TaskCost{
+		DataParallelCost(37, 7, 0.5),
+		DataParallelCost(11, 100, 0.2),
+		SequentialCost(6),
+	}
+	for total := 3; total <= 12; total++ {
+		m, err := OptimalPipelineMapping(total, stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for a := 1; a <= total-2; a++ {
+			for b := 1; b <= total-a-1; b++ {
+				c := total - a - b
+				bn := math.Max(stages[0](a), math.Max(stages[1](b), stages[2](c)))
+				if bn < best {
+					best = bn
+				}
+			}
+		}
+		if math.Abs(m.Bottleneck-best) > 1e-9 {
+			t.Errorf("total=%d: bottleneck %g, brute force %g", total, m.Bottleneck, best)
+		}
+	}
+}

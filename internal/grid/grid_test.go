@@ -1,0 +1,288 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, w, h float64, nx, ny int) *Grid {
+	t.Helper()
+	g, err := New(w, h, nx, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func finalize(t *testing.T, g *Grid) {
+	t.Helper()
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 100, 10, 10); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New(100, 100, 0, 10); err == nil {
+		t.Error("zero nx accepted")
+	}
+	if _, err := New(100, 50, 10, 10); err == nil {
+		t.Error("non-square cells accepted")
+	}
+	if _, err := New(100, 50, 10, 5); err != nil {
+		t.Error("square cells rejected")
+	}
+}
+
+func TestUniformGridBasics(t *testing.T) {
+	g, err := Uniform(100, 100, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCells() != 100 {
+		t.Errorf("NumCells = %d, want 100", g.NumCells())
+	}
+	// Interior faces of a 10x10 uniform grid: 2 * 10 * 9 = 180.
+	if len(g.Faces) != 180 {
+		t.Errorf("Faces = %d, want 180", len(g.Faces))
+	}
+	// Boundary faces: 4 * 10 = 40.
+	if len(g.Boundary) != 40 {
+		t.Errorf("Boundary = %d, want 40", len(g.Boundary))
+	}
+	if math.Abs(g.TotalArea()-100*100) > 1e-9 {
+		t.Errorf("TotalArea = %g, want 10000", g.TotalArea())
+	}
+	for i := range g.Cells {
+		if g.Cells[i].Level != 0 || g.Cells[i].Size != 10 {
+			t.Fatalf("cell %d: level %d size %g", i, g.Cells[i].Level, g.Cells[i].Size)
+		}
+	}
+}
+
+func TestRefineAddsCells(t *testing.T) {
+	g := mustNew(t, 100, 100, 10, 10)
+	n := g.Refine(Rect{40, 40, 60, 60}, 1)
+	if n != 4 {
+		t.Errorf("Refine split %d cells, want 4", n)
+	}
+	if g.NumCells() != 100+3*4 {
+		t.Errorf("NumCells = %d, want 112", g.NumCells())
+	}
+	finalize(t, g)
+	st := g.Stats()
+	if st.ByLevel[0] != 96 || st.ByLevel[1] != 16 {
+		t.Errorf("by level: %v", st.ByLevel)
+	}
+}
+
+func TestTwoToOneBalanceEnforced(t *testing.T) {
+	g := mustNew(t, 100, 100, 10, 10)
+	// Refine the same small spot to level 3: balance cascades must
+	// refine rings of neighbours.
+	g.Refine(Rect{43, 43, 57, 57}, 3)
+	finalize(t, g)
+	// Validate: no face joins cells whose levels differ by more than 1.
+	for _, f := range g.Faces {
+		dl := g.Cells[f.A].Level - g.Cells[f.B].Level
+		if dl < -1 || dl > 1 {
+			t.Fatalf("face %d-%d joins levels %d and %d", f.A, f.B, g.Cells[f.A].Level, g.Cells[f.B].Level)
+		}
+	}
+	if g.MaxLevel() != 3 {
+		t.Errorf("MaxLevel = %d, want 3", g.MaxLevel())
+	}
+}
+
+func TestAreaConservedUnderRefinement(t *testing.T) {
+	g := mustNew(t, 100, 100, 10, 10)
+	g.Refine(Rect{20, 20, 80, 80}, 2)
+	finalize(t, g)
+	if math.Abs(g.TotalArea()-10000) > 1e-6 {
+		t.Errorf("TotalArea = %g, want 10000", g.TotalArea())
+	}
+}
+
+func TestRefineNearExactCount(t *testing.T) {
+	// LA-style construction: 10x10 base refined to exactly 700 leaves.
+	g := mustNew(t, 100, 100, 10, 10)
+	g.RefineNear(50, 50, 3, 700)
+	if g.NumCells() != 700 {
+		t.Fatalf("NumCells = %d, want 700", g.NumCells())
+	}
+	finalize(t, g)
+	if math.Abs(g.TotalArea()-10000) > 1e-6 {
+		t.Errorf("TotalArea = %g", g.TotalArea())
+	}
+}
+
+func TestRefineNearUnreachableTarget(t *testing.T) {
+	g := mustNew(t, 100, 100, 10, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("target not ≡ count (mod 3) did not panic")
+		}
+	}()
+	g.RefineNear(50, 50, 2, 101)
+}
+
+func TestFaceGeometry(t *testing.T) {
+	g := mustNew(t, 100, 100, 4, 4)
+	g.Refine(Rect{0, 0, 25, 25}, 1) // refine one corner cell
+	finalize(t, g)
+	for _, f := range g.Faces {
+		ca, cb := g.Cells[f.A], g.Cells[f.B]
+		if f.Length <= 0 || f.Dist <= 0 {
+			t.Fatalf("degenerate face %+v", f)
+		}
+		wantLen := math.Min(ca.Size, cb.Size)
+		if math.Abs(f.Length-wantLen) > 1e-12 {
+			t.Errorf("face %d-%d length %g, want %g", f.A, f.B, f.Length, wantLen)
+		}
+		// Normal must be a unit vector pointing from A towards B.
+		if math.Abs(f.NX*f.NX+f.NY*f.NY-1) > 1e-12 {
+			t.Errorf("face %d-%d normal not unit", f.A, f.B)
+		}
+		dot := f.NX*(cb.X-ca.X) + f.NY*(cb.Y-ca.Y)
+		if dot <= 0 {
+			t.Errorf("face %d-%d normal points the wrong way", f.A, f.B)
+		}
+	}
+}
+
+func TestBoundaryFacesOutward(t *testing.T) {
+	g, err := Uniform(100, 100, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bf := range g.Boundary {
+		c := g.Cells[bf.Cell]
+		// Walking from the cell centre along the outward normal by one
+		// cell size must exit the domain.
+		x := c.X + bf.NX*c.Size
+		y := c.Y + bf.NY*c.Size
+		if x >= 0 && x < g.W && y >= 0 && y < g.H {
+			t.Errorf("boundary face of cell %d (side %v) normal does not exit domain", bf.Cell, bf.Side)
+		}
+	}
+}
+
+func TestFindCell(t *testing.T) {
+	g := mustNew(t, 100, 100, 10, 10)
+	g.Refine(Rect{40, 40, 60, 60}, 2)
+	finalize(t, g)
+	// Every cell centre must map back to its own index.
+	for i := range g.Cells {
+		if got := g.FindCell(g.Cells[i].X, g.Cells[i].Y); got != i {
+			t.Fatalf("FindCell(centre of %d) = %d", i, got)
+		}
+	}
+	if g.FindCell(-1, 50) != -1 || g.FindCell(50, 100.5) != -1 {
+		t.Error("out-of-domain point mapped to a cell")
+	}
+}
+
+func TestCellFacesConsistency(t *testing.T) {
+	g := mustNew(t, 100, 100, 8, 8)
+	g.Refine(Rect{25, 25, 75, 75}, 2)
+	finalize(t, g)
+	for i, faces := range g.CellFaces {
+		for _, fi := range faces {
+			f := g.Faces[fi]
+			if f.A != i && f.B != i {
+				t.Fatalf("CellFaces[%d] lists face %d-%d", i, f.A, f.B)
+			}
+		}
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	build := func() *Grid {
+		g, _ := New(100, 100, 10, 10)
+		g.Refine(Rect{30, 30, 70, 70}, 2)
+		_ = g.Finalize()
+		return g
+	}
+	a, b := build(), build()
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatal("nondeterministic cell count")
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs between builds: %+v vs %+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+	for i := range a.Faces {
+		if a.Faces[i] != b.Faces[i] {
+			t.Fatalf("face %d differs between builds", i)
+		}
+	}
+}
+
+func TestSideOpposite(t *testing.T) {
+	for _, s := range Sides() {
+		if s.Opposite().Opposite() != s {
+			t.Errorf("Opposite not involutive for %v", s)
+		}
+	}
+	if West.Opposite() != East || South.Opposite() != North {
+		t.Error("wrong opposites")
+	}
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	g := mustNew(t, 100, 100, 5, 5)
+	finalize(t, g)
+	n := len(g.Faces)
+	finalize(t, g)
+	if len(g.Faces) != n {
+		t.Error("second Finalize changed the face list")
+	}
+}
+
+// Property: for random refinement patterns, total area is conserved, faces
+// tile every perimeter (checked inside Finalize) and 2:1 balance holds.
+func TestRefinementInvariantsQuick(t *testing.T) {
+	f := func(seedX, seedY uint8, lv uint8) bool {
+		g, err := New(64, 64, 8, 8)
+		if err != nil {
+			return false
+		}
+		x := float64(seedX%8) * 8
+		y := float64(seedY%8) * 8
+		g.Refine(Rect{x, y, x + 17, y + 17}, int(lv%3)+1)
+		if err := g.Finalize(); err != nil {
+			return false
+		}
+		if math.Abs(g.TotalArea()-64*64) > 1e-6 {
+			return false
+		}
+		for _, fc := range g.Faces {
+			dl := g.Cells[fc.A].Level - g.Cells[fc.B].Level
+			if dl < -1 || dl > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	g, err := Uniform(100, 100, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Cells != 9 || st.MaxLevel != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("empty stats string")
+	}
+}

@@ -1,0 +1,178 @@
+package hourio
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"airshed/internal/chemistry"
+	"airshed/internal/grid"
+	"airshed/internal/meteo"
+	"airshed/internal/species"
+)
+
+func testInput(t *testing.T) *meteo.HourInput {
+	t.Helper()
+	g, err := grid.Uniform(40e3, 40e3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := meteo.NewSynthetic(meteo.Scenario{
+		Name: "t", UrbanX: 20e3, UrbanY: 20e3, UrbanRadius: 10e3,
+		EmissionScale: 1, NOxScale: 1, VOCScale: 1,
+		SynopticU: 2, SynopticV: 1, SeaBreeze: 1, BaseTempK: 290,
+	}, g, species.StandardMechanism(), chemistry.StandardLayers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := prov.HourInput(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestHourInputRoundTrip(t *testing.T) {
+	in := testInput(t)
+	var buf bytes.Buffer
+	n, err := WriteHourInput(&buf, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, rn, err := ReadHourInput(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn != n {
+		t.Errorf("read %d bytes, wrote %d", rn, n)
+	}
+	if got.Hour != in.Hour || got.Sun != in.Sun || got.KH != in.KH {
+		t.Error("scalars corrupted")
+	}
+	for l := range in.WindU {
+		for c := range in.WindU[l] {
+			if got.WindU[l][c] != in.WindU[l][c] || got.WindV[l][c] != in.WindV[l][c] {
+				t.Fatal("wind corrupted")
+			}
+		}
+	}
+	for s := range in.Emis {
+		for c := range in.Emis[s] {
+			if got.Emis[s][c] != in.Emis[s][c] {
+				t.Fatal("emissions corrupted")
+			}
+		}
+	}
+	for i := range in.VDep {
+		if got.VDep[i] != in.VDep[i] || got.Inflow[i] != in.Inflow[i] || got.VSettle[i] != in.VSettle[i] {
+			t.Fatal("species vectors corrupted")
+		}
+	}
+	for l := range in.TempK {
+		if got.TempK[l] != in.TempK[l] {
+			t.Fatal("temperature corrupted")
+		}
+	}
+	for i := range in.Kz {
+		if got.Kz[i] != in.Kz[i] {
+			t.Fatal("Kz corrupted")
+		}
+	}
+}
+
+func TestHourInputChecksumDetectsCorruption(t *testing.T) {
+	in := testInput(t)
+	var buf bytes.Buffer
+	if _, err := WriteHourInput(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one byte in the middle.
+	data[len(data)/2] ^= 0xFF
+	if _, _, err := ReadHourInput(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted file accepted")
+	}
+}
+
+func TestHourInputBadMagic(t *testing.T) {
+	if _, _, err := ReadHourInput(strings.NewReader("NOTMAGIC plus data")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, _, err := ReadHourInput(strings.NewReader("AIR")); err == nil {
+		t.Error("truncated magic accepted")
+	}
+}
+
+func TestHourInputTruncation(t *testing.T) {
+	in := testInput(t)
+	var buf bytes.Buffer
+	if _, err := WriteHourInput(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{10, 100, len(data) / 2, len(data) - 2} {
+		if _, _, err := ReadHourInput(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ns, nl, nc := 4, 3, 7
+	conc := make([]float64, ns*nl*nc)
+	for i := range conc {
+		conc[i] = float64(i) * 0.25
+	}
+	var buf bytes.Buffer
+	n, err := WriteSnapshot(&buf, 5, ns, nl, nc, conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hour, gns, gnl, gnc, got, rn, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hour != 5 || gns != ns || gnl != nl || gnc != nc || rn != n {
+		t.Errorf("header: %d %d %d %d (%d/%d bytes)", hour, gns, gnl, gnc, rn, n)
+	}
+	for i := range conc {
+		if got[i] != conc[i] {
+			t.Fatalf("value %d corrupted", i)
+		}
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	if _, err := WriteSnapshot(io.Discard, 0, 2, 2, 2, make([]float64, 5)); err == nil {
+		t.Error("wrong-length snapshot accepted")
+	}
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(&buf, 0, 2, 2, 2, make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0x01 // corrupt the checksum
+	if _, _, _, _, _, _, err := ReadSnapshot(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted snapshot accepted")
+	}
+}
+
+func TestWriteByteCountStable(t *testing.T) {
+	// The I/O charging depends on the byte count being deterministic.
+	in := testInput(t)
+	n1, err := WriteHourInput(io.Discard, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := WriteHourInput(io.Discard, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Errorf("byte count not stable: %d vs %d", n1, n2)
+	}
+}

@@ -1,0 +1,256 @@
+package meteo
+
+import (
+	"math"
+	"testing"
+
+	"airshed/internal/chemistry"
+	"airshed/internal/grid"
+	"airshed/internal/species"
+)
+
+func testProvider(t *testing.T) *Synthetic {
+	t.Helper()
+	g, err := grid.Uniform(40e3, 40e3, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn := Scenario{
+		Name: "test", UrbanX: 20e3, UrbanY: 20e3, UrbanRadius: 10e3,
+		EmissionScale: 1, NOxScale: 1, VOCScale: 1,
+		SynopticU: 2, SynopticV: 1, SeaBreeze: 1.5, BaseTempK: 290,
+		PointSources: []PointSource{{X: 10e3, Y: 10e3, SO2: 0.1, NOx: 0.05}},
+	}
+	p, err := NewSynthetic(scn, g, species.StandardMechanism(), chemistry.StandardLayers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestScenarioValidate(t *testing.T) {
+	good := Scenario{Name: "x", UrbanRadius: 1, BaseTempK: 280}
+	if good.Validate() != nil {
+		t.Error("valid scenario rejected")
+	}
+	bad := []Scenario{
+		{UrbanRadius: 1, BaseTempK: 280},
+		{Name: "x", UrbanRadius: 0, BaseTempK: 280},
+		{Name: "x", UrbanRadius: 1, BaseTempK: 0},
+		{Name: "x", UrbanRadius: 1, BaseTempK: 280, EmissionScale: -1},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSunCycle(t *testing.T) {
+	if SunAt(0) != 0 || SunAt(3) != 0 || SunAt(22) != 0 {
+		t.Error("sun shining at night")
+	}
+	if math.Abs(SunAt(12)-1) > 1e-12 {
+		t.Errorf("noon sun = %g", SunAt(12))
+	}
+	if SunAt(9) <= SunAt(7) {
+		t.Error("morning sun not rising")
+	}
+	if SunAt(36) != SunAt(12) {
+		t.Error("sun not 24h periodic")
+	}
+	for h := 0; h < 24; h++ {
+		if s := SunAt(h); s < 0 || s > 1 {
+			t.Errorf("SunAt(%d) = %g out of [0,1]", h, s)
+		}
+	}
+}
+
+func TestTrafficRushHours(t *testing.T) {
+	if TrafficAt(8) <= TrafficAt(3) {
+		t.Error("no morning rush")
+	}
+	if TrafficAt(17) <= TrafficAt(13) {
+		t.Error("no evening rush")
+	}
+	for h := 0; h < 24; h++ {
+		if TrafficAt(h) <= 0 {
+			t.Errorf("TrafficAt(%d) = %g", h, TrafficAt(h))
+		}
+	}
+}
+
+func TestHourInputShape(t *testing.T) {
+	p := testProvider(t)
+	in, err := p.HourInput(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := p.Mechanism().N()
+	nl := p.Geometry().Layers()
+	nc := p.Grid().NumCells()
+	if len(in.TempK) != nl || len(in.Kz) != nl-1 {
+		t.Error("vertical dimensions wrong")
+	}
+	if len(in.WindU) != nl || len(in.WindU[0]) != nc {
+		t.Error("wind dimensions wrong")
+	}
+	if len(in.Emis) != ns || len(in.Emis[0]) != nc {
+		t.Error("emission dimensions wrong")
+	}
+	if len(in.VDep) != ns || len(in.Inflow) != ns {
+		t.Error("species dimensions wrong")
+	}
+	if _, err := p.HourInput(-1); err == nil {
+		t.Error("negative hour accepted")
+	}
+}
+
+func TestHourInputPhysicalSanity(t *testing.T) {
+	p := testProvider(t)
+	day, err := p.HourInput(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	night, err := p.HourInput(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Daytime: sun up, warmer, more convective mixing.
+	if day.Sun <= 0 || night.Sun != 0 {
+		t.Error("sun cycle broken")
+	}
+	if day.TempK[0] <= night.TempK[0] {
+		t.Error("no diurnal temperature cycle")
+	}
+	if day.Kz[0] <= night.Kz[0] {
+		t.Error("no convective daytime mixing")
+	}
+	// Temperature decreases with height.
+	for l := 1; l < len(day.TempK); l++ {
+		if day.TempK[l] >= day.TempK[l-1] {
+			t.Error("temperature not decreasing with height")
+		}
+	}
+	// All fields finite and physical.
+	for l := range day.WindU {
+		for c := range day.WindU[l] {
+			v := math.Hypot(day.WindU[l][c], day.WindV[l][c])
+			if math.IsNaN(v) || v > 60 {
+				t.Fatalf("unphysical wind %g m/s", v)
+			}
+		}
+	}
+	for s := range day.Emis {
+		for c := range day.Emis[s] {
+			if day.Emis[s][c] < 0 {
+				t.Fatal("negative emission")
+			}
+		}
+	}
+}
+
+func TestEmissionsUrbanKernel(t *testing.T) {
+	p := testProvider(t)
+	in, err := p.HourInput(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Grid()
+	iNO := p.Mechanism().MustIndex("NO")
+	urban := g.FindCell(20e3, 20e3)
+	var ruralMax float64
+	for c := range g.Cells {
+		if math.Hypot(g.Cells[c].X-20e3, g.Cells[c].Y-20e3) > 15e3 {
+			// Skip the point-source cell.
+			if c == g.FindCell(10e3, 10e3) {
+				continue
+			}
+			if in.Emis[iNO][c] > ruralMax {
+				ruralMax = in.Emis[iNO][c]
+			}
+		}
+	}
+	if in.Emis[iNO][urban] <= ruralMax {
+		t.Error("urban NO emissions not above rural")
+	}
+	// Point source injects SO2 in its cell.
+	iSO2 := p.Mechanism().MustIndex("SO2")
+	ps := g.FindCell(10e3, 10e3)
+	if in.Emis[iSO2][ps] < 0.1 {
+		t.Errorf("point source SO2 = %g", in.Emis[iSO2][ps])
+	}
+}
+
+func TestBiogenicIsopreneDaytimeRural(t *testing.T) {
+	p := testProvider(t)
+	day, _ := p.HourInput(12)
+	night, _ := p.HourInput(0)
+	iISOP := p.Mechanism().MustIndex("ISOP")
+	g := p.Grid()
+	rural := g.FindCell(38e3, 38e3)
+	if day.Emis[iISOP][rural] <= 0 {
+		t.Error("no daytime biogenic emissions")
+	}
+	if night.Emis[iISOP][rural] != 0 {
+		t.Error("biogenic emissions at night")
+	}
+}
+
+func TestHourInputDeterminism(t *testing.T) {
+	p := testProvider(t)
+	a, err := p.HourInput(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.HourInput(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range a.WindU {
+		for c := range a.WindU[l] {
+			if a.WindU[l][c] != b.WindU[l][c] {
+				t.Fatal("wind field not deterministic")
+			}
+		}
+	}
+	for s := range a.Emis {
+		for c := range a.Emis[s] {
+			if a.Emis[s][c] != b.Emis[s][c] {
+				t.Fatal("emissions not deterministic")
+			}
+		}
+	}
+}
+
+func TestInitialConcentrations(t *testing.T) {
+	p := testProvider(t)
+	conc := p.InitialConcentrations()
+	ns := p.Mechanism().N()
+	nl := p.Geometry().Layers()
+	nc := p.Grid().NumCells()
+	if len(conc) != ns*nl*nc {
+		t.Fatalf("length %d", len(conc))
+	}
+	for _, v := range conc {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatal("bad initial concentration")
+		}
+	}
+	// Urban enhancement of primary pollutants in the ground layer.
+	iCO := p.Mechanism().MustIndex("CO")
+	urban := p.Grid().FindCell(20e3, 20e3)
+	rural := p.Grid().FindCell(38e3, 38e3)
+	if conc[iCO+ns*(0+nl*urban)] <= conc[iCO+ns*(0+nl*rural)] {
+		t.Error("no urban CO enhancement")
+	}
+}
+
+func TestNewSyntheticValidation(t *testing.T) {
+	g, _ := grid.New(40e3, 40e3, 4, 4) // not finalized
+	_, err := NewSynthetic(Scenario{Name: "x", UrbanRadius: 1, BaseTempK: 280},
+		g, species.StandardMechanism(), chemistry.StandardLayers())
+	if err == nil {
+		t.Error("unfinalized grid accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package perfmodel_test
+
+import (
+	"fmt"
+
+	"airshed/internal/dist"
+	"airshed/internal/machine"
+	"airshed/internal/perfmodel"
+)
+
+// The paper's closed form for the D_Chem -> D_Repl all-gather on the T3E
+// with the LA array: Ct = 2*L*P + G*layers*species*nodes*W.
+func ExamplePredictChemToRepl() {
+	sh := dist.Shape{Species: 35, Layers: 5, Cells: 700}
+	t3e := machine.CrayT3E()
+	for _, p := range []int{4, 128} {
+		fmt.Printf("P=%3d: %.2f ms\n", p, 1000*perfmodel.PredictChemToRepl(sh, t3e, p))
+	}
+	// Output:
+	// P=  4: 24.62 ms
+	// P=128: 37.52 ms
+}
+
+// Fitting L, G and H back from communication measurements, the paper's
+// Section 4.3 estimation procedure.
+func ExampleFitLGH() {
+	t3e := machine.CrayT3E()
+	sh := dist.Shape{Species: 35, Layers: 5, Cells: 700}
+	samples, err := perfmodel.SamplesFromPlans(sh, t3e, []int{2, 4, 8},
+		func(t dist.NodeTraffic) float64 { return t.Cost(t3e) })
+	if err != nil {
+		panic(err)
+	}
+	l, g, h, err := perfmodel.FitLGH(samples)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("L = %.2g s/msg, G = %.3g s/B, H = %.3g s/B\n", l, g, h)
+	// Output:
+	// L = 5.2e-05 s/msg, G = 2.47e-08 s/B, H = 2.04e-08 s/B
+}

@@ -1,0 +1,59 @@
+package popexp
+
+import (
+	"fmt"
+
+	"airshed/internal/dist"
+	"airshed/internal/fx"
+	"airshed/internal/vm"
+)
+
+// ComputeHourFx is the "all Fx" implementation of one exposure hour (the
+// paper developed "an all Fx version of the Airshed-PopExp application"
+// to compare against the foreign-module version): the cell range is
+// block-partitioned over a node subgroup of the fx runtime, each node
+// computes its partial dose, and the partials reduce to the full dose
+// matrix. The result is bit-identical to ComputeHour and to the PVM
+// master/worker version (partials are reduced in node order).
+//
+// Work is charged to the runtime's virtual machine under CatPopExp.
+func ComputeHourFx(rt *fx.Runtime, group []int, m *Model, pop *Population, conc []float64, ns, nl int) (*Exposure, error) {
+	if len(group) == 0 {
+		return nil, fmt.Errorf("popexp: empty node group")
+	}
+	ncells := len(pop.Density)
+	partials := make([]*Exposure, len(group))
+	err := rt.ParallelGroup(group, vm.CatPopExp, func(node int) (float64, error) {
+		// Identify this node's index within the group.
+		idx := -1
+		for i, n := range group {
+			if n == node {
+				idx = i
+				break
+			}
+		}
+		iv := dist.BlockOwner(ncells, len(group), idx)
+		part, flops, err := m.CellRangeHour(conc, ns, nl, pop, iv.Lo, iv.Hi)
+		if err != nil {
+			return 0, err
+		}
+		partials[idx] = part
+		return flops, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := m.NewExposure()
+	total.Hours = 1
+	for _, part := range partials {
+		if part == nil {
+			continue // a node owning no cells
+		}
+		for c := range total.Dose {
+			for s := range total.Dose[c] {
+				total.Dose[c][s] += part.Dose[c][s]
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GanttInterval is one busy interval of a Gantt row.
+type GanttInterval struct {
+	// Row names the lane (pipeline stage).
+	Row string
+	// Label is the single character drawn over the interval (typically
+	// the hour number modulo 10).
+	Label byte
+	// Start and End bound the interval.
+	Start, End float64
+}
+
+// Gantt renders busy intervals per row on a shared time axis: the
+// harness's rendering of the paper's Figure 8 / Figure 12 pipeline
+// diagrams, drawn from the actual replayed schedule rather than as a
+// sketch.
+type Gantt struct {
+	Title string
+	Width int
+	// Rows fixes the lane order; intervals with unknown rows are
+	// appended in first-seen order.
+	Rows      []string
+	Intervals []GanttInterval
+}
+
+// NewGantt creates a chart with the given lane order.
+func NewGantt(title string, rows ...string) *Gantt {
+	return &Gantt{Title: title, Width: 96, Rows: rows}
+}
+
+// Add appends an interval.
+func (g *Gantt) Add(row string, label byte, start, end float64) {
+	g.Intervals = append(g.Intervals, GanttInterval{Row: row, Label: label, Start: start, End: end})
+}
+
+// Write renders the chart.
+func (g *Gantt) Write(w io.Writer) error {
+	if len(g.Intervals) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no intervals)\n", g.Title)
+		return err
+	}
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	rows := append([]string{}, g.Rows...)
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r] = true
+	}
+	for _, iv := range g.Intervals {
+		minT = math.Min(minT, iv.Start)
+		maxT = math.Max(maxT, iv.End)
+		if !seen[iv.Row] {
+			rows = append(rows, iv.Row)
+			seen[iv.Row] = true
+		}
+	}
+	if maxT <= minT {
+		maxT = minT + 1
+	}
+	span := maxT - minT
+	width := g.Width
+	if width < 10 {
+		width = 10
+	}
+	nameW := 0
+	for _, r := range rows {
+		if len(r) > nameW {
+			nameW = len(r)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n  time %.4g .. %.4g s; each column ~%.4g s; digits are hour%%10\n",
+		g.Title, minT, maxT, span/float64(width)); err != nil {
+		return err
+	}
+	// Deterministic draw order: later intervals overwrite earlier only
+	// within the same row, so sort by start per row.
+	byRow := map[string][]GanttInterval{}
+	for _, iv := range g.Intervals {
+		byRow[iv.Row] = append(byRow[iv.Row], iv)
+	}
+	for _, r := range rows {
+		ivs := byRow[r]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+		lane := []byte(strings.Repeat(".", width))
+		for _, iv := range ivs {
+			lo := int((iv.Start - minT) / span * float64(width))
+			hi := int(math.Ceil((iv.End - minT) / span * float64(width)))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for c := lo; c < hi && c < width; c++ {
+				lane[c] = iv.Label
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s |%s|\n", nameW, r, string(lane)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

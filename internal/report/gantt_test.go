@@ -1,0 +1,116 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGanttRendersLanes(t *testing.T) {
+	g := NewGantt("Pipeline", "input", "compute", "output")
+	g.Add("input", '0', 0, 10)
+	g.Add("compute", '0', 10, 50)
+	g.Add("input", '1', 10, 20)
+	g.Add("output", '0', 50, 60)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Pipeline", "input", "compute", "output", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Lane order must match the declared rows.
+	var laneNames []string
+	for _, l := range lines {
+		trimmed := strings.TrimSpace(l)
+		for _, name := range []string{"input", "compute", "output"} {
+			if strings.HasPrefix(trimmed, name+" ") || strings.HasPrefix(trimmed, name+"|") {
+				laneNames = append(laneNames, name)
+			}
+		}
+	}
+	if len(laneNames) != 3 || laneNames[0] != "input" || laneNames[1] != "compute" || laneNames[2] != "output" {
+		t.Errorf("lane order: %v", laneNames)
+	}
+	// Hour digits appear.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Error("interval labels missing")
+	}
+}
+
+func TestGanttUnknownRowAppended(t *testing.T) {
+	g := NewGantt("x", "a")
+	g.Add("a", '0', 0, 1)
+	g.Add("surprise", '1', 1, 2)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "surprise") {
+		t.Error("unknown row dropped")
+	}
+}
+
+func TestGanttEmptyAndDegenerate(t *testing.T) {
+	g := NewGantt("empty")
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no intervals") {
+		t.Error("empty chart not flagged")
+	}
+	// Zero-length interval still draws at least one column.
+	g2 := NewGantt("point")
+	g2.Add("r", 'x', 5, 5)
+	buf.Reset()
+	if err := g2.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x") {
+		t.Error("zero-length interval invisible")
+	}
+	// Tiny width clamps.
+	g3 := NewGantt("narrow")
+	g3.Width = 1
+	g3.Add("r", 'x', 0, 1)
+	buf.Reset()
+	if err := g3.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGanttProportions(t *testing.T) {
+	g := NewGantt("prop", "r")
+	g.Width = 100
+	g.Add("r", 'a', 0, 25)
+	g.Add("r", 'b', 75, 100)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The 'a' block fills ~the first quarter, 'b' ~the last.
+	var lane string
+	for _, l := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(l, "|") && strings.Contains(l, "a") {
+			lane = l[strings.Index(l, "|")+1:]
+			break
+		}
+	}
+	if lane == "" {
+		t.Fatal("lane not found")
+	}
+	aCount := strings.Count(lane, "a")
+	bCount := strings.Count(lane, "b")
+	if aCount < 20 || aCount > 30 || bCount < 20 || bCount > 30 {
+		t.Errorf("proportions off: a=%d b=%d", aCount, bCount)
+	}
+	mid := lane[40:60]
+	if strings.ContainsAny(mid, "ab") {
+		t.Errorf("gap not empty: %q", mid)
+	}
+}

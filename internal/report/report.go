@@ -1,0 +1,257 @@
+// Package report renders the benchmark harness's tables and simple ASCII
+// charts: the textual equivalents of the paper's figures. Tables align
+// columns, emit CSV, and can sketch log-scale series so the qualitative
+// shapes (parallel curves, crossovers, saturation) are visible directly in
+// terminal output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v unless already
+// strings.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case float64:
+			row[i] = formatFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat renders a float compactly: large values without decimals,
+// small with significant digits.
+func formatFloat(x float64) string {
+	ax := math.Abs(x)
+	switch {
+	case x == 0:
+		return "0"
+	case ax >= 1000:
+		return fmt.Sprintf("%.0f", x)
+	case ax >= 10:
+		return fmt.Sprintf("%.1f", x)
+	case ax >= 0.01:
+		return fmt.Sprintf("%.3f", x)
+	default:
+		return fmt.Sprintf("%.3g", x)
+	}
+}
+
+// Write renders the table aligned to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the table as CSV (RFC-4180-ish; cells are quoted when
+// they contain separators).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	Marker byte
+}
+
+// Chart sketches series in ASCII with optional log axes — the harness's
+// stand-in for the paper's linear/log figure pairs.
+type Chart struct {
+	Title  string
+	Width  int
+	Height int
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+// NewChart creates a chart with default dimensions.
+func NewChart(title string) *Chart {
+	return &Chart{Title: title, Width: 64, Height: 18}
+}
+
+// Add appends a series with an auto-assigned marker.
+func (c *Chart) Add(name string, x, y []float64) {
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	m := markers[len(c.Series)%len(markers)]
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y, Marker: m})
+}
+
+// Write renders the chart.
+func (c *Chart) Write(w io.Writer) error {
+	if len(c.Series) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no data)\n", c.Title)
+		return err
+	}
+	tx := func(v float64) float64 {
+		if c.LogX {
+			return math.Log10(math.Max(v, 1e-300))
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if c.LogY {
+			return math.Log10(math.Max(v, 1e-300))
+		}
+		return v
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			minX = math.Min(minX, tx(s.X[i]))
+			maxX = math.Max(maxX, tx(s.X[i]))
+			minY = math.Min(minY, ty(s.Y[i]))
+			maxY = math.Max(maxY, ty(s.Y[i]))
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			col := int((tx(s.X[i]) - minX) / (maxX - minX) * float64(c.Width-1))
+			row := int((ty(s.Y[i]) - minY) / (maxY - minY) * float64(c.Height-1))
+			r := c.Height - 1 - row
+			if r >= 0 && r < c.Height && col >= 0 && col < c.Width {
+				grid[r][col] = s.Marker
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+		return err
+	}
+	axes := ""
+	if c.LogX || c.LogY {
+		ax := []string{}
+		if c.LogX {
+			ax = append(ax, "log x")
+		}
+		if c.LogY {
+			ax = append(ax, "log y")
+		}
+		axes = " (" + strings.Join(ax, ", ") + ")"
+	}
+	if _, err := fmt.Fprintf(w, "  y in [%.4g, %.4g]%s\n", untransform(minY, c.LogY), untransform(maxY, c.LogY), axes); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "  |%s\n", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", c.Width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "   x in [%.4g, %.4g]\n", untransform(minX, c.LogX), untransform(maxX, c.LogX)); err != nil {
+		return err
+	}
+	for _, s := range c.Series {
+		if _, err := fmt.Fprintf(w, "   %c = %s\n", s.Marker, s.Name); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func untransform(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Demo", "Nodes", "Time (s)")
+	tb.AddRow(4, 4209.2)
+	tb.AddRow(128, 97.06)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "Nodes") {
+		t.Errorf("missing header/title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header, separator and two data rows must share width.
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) != w {
+			t.Errorf("misaligned row %q (want width %d)", l, w)
+		}
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{4209.2, "4209"},
+		{97.06, "97.1"},
+		{0.0414, "0.041"},
+		{5.2e-5, "5.2e-05"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.v); got != c.want {
+			t.Errorf("formatFloat(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", 1.5)
+	tb.AddRow(`quo"te`, 2)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"quo""te"`) {
+		t.Errorf("quote not escaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("missing header:\n%s", out)
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	ch := NewChart("Execution time")
+	ch.LogY = true
+	ch.Add("T3E", []float64{4, 8, 16}, []float64{400, 240, 160})
+	ch.Add("Paragon", []float64{4, 8, 16}, []float64{4200, 2300, 1500})
+	var buf bytes.Buffer
+	if err := ch.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "T3E") || !strings.Contains(out, "Paragon") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "log y") {
+		t.Errorf("axis annotation missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := NewChart("empty")
+	var buf bytes.Buffer
+	if err := ch.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty chart did not say so")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	ch := NewChart("flat")
+	ch.Add("s", []float64{1, 1, 1}, []float64{5, 5, 5})
+	var buf bytes.Buffer
+	if err := ch.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output for degenerate chart")
+	}
+}
