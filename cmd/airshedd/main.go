@@ -1,0 +1,99 @@
+// Command airshedd is the Airshed scenario service: an HTTP daemon that
+// runs simulation scenarios on a bounded worker pool, coalesces
+// duplicate in-flight requests, serves repeated scenarios from an LRU
+// result cache, and answers Section 4 analytic performance predictions
+// without running the numerics at the requested scale.
+//
+// API:
+//
+//	POST /v1/runs          submit a scenario (JSON spec), returns job id
+//	GET  /v1/runs/{id}     job status + result summary once done
+//	GET  /v1/predict       analytic prediction (?dataset=&machine=&nodes=&hours=)
+//	GET  /healthz          liveness
+//	GET  /metrics          plain-text scheduler counters
+//
+// On SIGTERM/SIGINT the daemon stops accepting work, drains the queue
+// (bounded by -drain-timeout, after which running jobs are cancelled)
+// and exits.
+//
+// Usage:
+//
+//	airshedd -addr :8080 -workers 4 -cache-entries 128
+//	curl -s localhost:8080/v1/runs -d '{"dataset":"mini","machine":"t3e","nodes":4,"hours":2}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"airshed/internal/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "airshedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+		queueDepth   = flag.Int("queue", 64, "submission queue depth (full queue rejects with 503)")
+		cacheEntries = flag.Int("cache-entries", 128, "result cache capacity in entries (negative disables)")
+		cacheMB      = flag.Int64("cache-mb", 512, "result cache capacity in MiB (approximate)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job execution timeout (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain the queue on shutdown")
+	)
+	flag.Parse()
+
+	scheduler := sched.New(sched.Options{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheMB << 20,
+		JobTimeout:   *jobTimeout,
+		GoParallel:   true,
+	})
+	srv := &http.Server{Addr: *addr, Handler: newServer(scheduler).handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("airshedd: listening on %s (%d workers, queue %d, cache %d entries)\n",
+			*addr, *workers, *queueDepth, *cacheEntries)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Shutdown sequence: stop accepting HTTP first, then drain the
+	// scheduler so queued jobs still execute (their clients may already
+	// hold job IDs and will poll again after we restart).
+	fmt.Println("airshedd: signal received, draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "airshedd: http shutdown:", err)
+	}
+	if err := scheduler.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Println("airshedd: drained, bye")
+	return nil
+}

@@ -1,0 +1,285 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"airshed/internal/core"
+	"airshed/internal/machine"
+	"airshed/internal/perfmodel"
+	"airshed/internal/report"
+	"airshed/internal/scenario"
+	"airshed/internal/sched"
+)
+
+// server wires the scheduler and the analytic performance model behind
+// the HTTP API. It holds a trace cache for /v1/predict: the Section 4
+// model needs one recorded work trace per physics configuration
+// (dataset, hours, emission controls — everything except machine, nodes
+// and mode, which the model varies analytically), so the first predict
+// request for a configuration traces it once at 1 node and every later
+// prediction for any machine or node count is instant.
+type server struct {
+	sched *sched.Scheduler
+
+	traceMu sync.Mutex
+	traces  map[string]*traceEntry
+}
+
+type traceEntry struct {
+	once  sync.Once
+	trace *core.Trace
+	err   error
+}
+
+func newServer(s *sched.Scheduler) *server {
+	return &server{sched: s, traces: make(map[string]*traceEntry)}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// submitResponse acknowledges a submission.
+type submitResponse struct {
+	ID     string `json:"id"`
+	Hash   string `json:"hash"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec scenario.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad scenario JSON: %v", err))
+		return
+	}
+	st, err := s.sched.Submit(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrShuttingDown):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	code := http.StatusAccepted
+	if st.Cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, submitResponse{ID: st.ID, Hash: st.Hash, State: st.State.String(), Cached: st.Cached})
+}
+
+// statusResponse reports one job; Summary is present once the run is
+// done (including cache hits).
+type statusResponse struct {
+	ID             string             `json:"id"`
+	Hash           string             `json:"hash"`
+	Spec           scenario.Spec      `json:"spec"`
+	State          string             `json:"state"`
+	Cached         bool               `json:"cached"`
+	Error          string             `json:"error,omitempty"`
+	WallSeconds    float64            `json:"wall_seconds,omitempty"`
+	VirtualSeconds float64            `json:"virtual_seconds,omitempty"`
+	Summary        *report.RunSummary `json:"summary,omitempty"`
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sched.Status(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	resp := statusResponse{
+		ID:             st.ID,
+		Hash:           st.Hash,
+		Spec:           st.Spec,
+		State:          st.State.String(),
+		Cached:         st.Cached,
+		WallSeconds:    st.WallSeconds,
+		VirtualSeconds: st.VirtualSeconds,
+	}
+	if st.Err != nil {
+		resp.Error = st.Err.Error()
+	}
+	if st.Result != nil {
+		resp.Summary = report.Summarize(st.Result)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictResponse is the analytic model's answer.
+type predictResponse struct {
+	Machine          string             `json:"machine"`
+	Nodes            int                `json:"nodes"`
+	ChemistrySeconds float64            `json:"chemistry_seconds"`
+	TransportSeconds float64            `json:"transport_seconds"`
+	IOSeconds        float64            `json:"io_seconds"`
+	AerosolSeconds   float64            `json:"aerosol_seconds"`
+	CommSeconds      float64            `json:"comm_seconds"`
+	CommByKind       map[string]float64 `json:"comm_by_kind"`
+	TotalSeconds     float64            `json:"total_seconds"`
+}
+
+// handlePredict answers GET /v1/predict?dataset=mini&machine=t3e&nodes=16
+// &hours=2[&nox_scale=..&voc_scale=..] with the Section 4 analytic
+// prediction — no simulation at the requested machine/node count runs.
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	spec := scenario.Spec{
+		Dataset: q.Get("dataset"),
+		Machine: q.Get("machine"),
+	}
+	var err error
+	if spec.Nodes, err = intParam(q.Get("nodes"), 0); err != nil {
+		httpError(w, http.StatusBadRequest, "bad nodes: "+err.Error())
+		return
+	}
+	if spec.Hours, err = intParam(q.Get("hours"), 0); err != nil {
+		httpError(w, http.StatusBadRequest, "bad hours: "+err.Error())
+		return
+	}
+	if spec.NOxScale, err = floatParam(q.Get("nox_scale"), 0); err != nil {
+		httpError(w, http.StatusBadRequest, "bad nox_scale: "+err.Error())
+		return
+	}
+	if spec.VOCScale, err = floatParam(q.Get("voc_scale"), 0); err != nil {
+		httpError(w, http.StatusBadRequest, "bad voc_scale: "+err.Error())
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec = spec.Normalize()
+	prof, err := machine.ByName(spec.Machine)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tr, err := s.traceFor(spec)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "tracing failed: "+err.Error())
+		return
+	}
+	pred, err := perfmodel.Predict(tr, prof, spec.Nodes)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
+		Machine:          pred.Machine,
+		Nodes:            pred.Nodes,
+		ChemistrySeconds: pred.Chemistry,
+		TransportSeconds: pred.Transport,
+		IOSeconds:        pred.IO,
+		AerosolSeconds:   pred.Aerosol,
+		CommSeconds:      pred.Comm,
+		CommByKind:       pred.CommByKind,
+		TotalSeconds:     pred.Total,
+	})
+}
+
+// traceFor returns the cached work trace of a spec's physics
+// configuration, tracing it once on first use. The trace key strips the
+// fields the analytic model varies: machine, node count and mode.
+func (s *server) traceFor(spec scenario.Spec) (*core.Trace, error) {
+	traceSpec := spec.Normalize()
+	traceSpec.Machine = "gohost"
+	traceSpec.Nodes = 1
+	traceSpec.Mode = scenario.ModeData
+	key := traceSpec.Hash()
+
+	s.traceMu.Lock()
+	e, ok := s.traces[key]
+	if !ok {
+		e = &traceEntry{}
+		s.traces[key] = e
+	}
+	s.traceMu.Unlock()
+
+	e.once.Do(func() {
+		cfg, err := traceSpec.Config()
+		if err != nil {
+			e.err = err
+			return
+		}
+		cfg.GoParallel = true
+		res, err := core.Run(cfg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.trace = res.Trace
+	})
+	return e.trace, e.err
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics dumps the scheduler counters in the classic
+// one-metric-per-line text format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.sched.Counters()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "airshedd_jobs_submitted_total %d\n", c.Submitted)
+	fmt.Fprintf(w, "airshedd_jobs_completed_total %d\n", c.Completed)
+	fmt.Fprintf(w, "airshedd_jobs_failed_total %d\n", c.Failed)
+	fmt.Fprintf(w, "airshedd_jobs_cancelled_total %d\n", c.Cancelled)
+	fmt.Fprintf(w, "airshedd_jobs_rejected_total %d\n", c.Rejected)
+	fmt.Fprintf(w, "airshedd_jobs_coalesced_total %d\n", c.Coalesced)
+	fmt.Fprintf(w, "airshedd_cache_hits_total %d\n", c.CacheHits)
+	fmt.Fprintf(w, "airshedd_cache_misses_total %d\n", c.CacheMisses)
+	fmt.Fprintf(w, "airshedd_cache_evictions_total %d\n", c.Evictions)
+	fmt.Fprintf(w, "airshedd_cache_entries %d\n", c.CacheEntries)
+	fmt.Fprintf(w, "airshedd_cache_bytes %d\n", c.CacheBytes)
+	fmt.Fprintf(w, "airshedd_queue_depth %d\n", c.QueueDepth)
+	fmt.Fprintf(w, "airshedd_busy_workers %d\n", c.BusyWorkers)
+}
+
+// intParam parses an integer query parameter; empty means def.
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+// floatParam parses a float query parameter; empty means def.
+func floatParam(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

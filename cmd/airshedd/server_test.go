@@ -1,0 +1,361 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"airshed/internal/sched"
+)
+
+// testServer spins a scheduler and an httptest server around the daemon
+// handler; the returned scheduler lets tests drive shutdown directly
+// (the SIGTERM path minus the signal plumbing).
+func testServer(t *testing.T, opts sched.Options) (*httptest.Server, *sched.Scheduler) {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	opts.GoParallel = true
+	scheduler := sched.New(opts)
+	ts := httptest.NewServer(newServer(scheduler).handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		scheduler.Shutdown(ctx)
+	})
+	return ts, scheduler
+}
+
+func miniBody(nodes int) string {
+	return fmt.Sprintf(`{"dataset":"mini","machine":"t3e","nodes":%d,"hours":1}`, nodes)
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string) (submitResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var sr submitResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatalf("bad submit response %q: %v", raw, err)
+		}
+	}
+	return sr, resp.StatusCode
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) statusResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /v1/runs/%s: %d %s", id, resp.StatusCode, raw)
+	}
+	var st statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) statusResponse {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return statusResponse{}
+}
+
+// metric fetches /metrics and extracts one counter value.
+func metric(t *testing.T, ts *httptest.Server, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad metric line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, raw)
+	return 0
+}
+
+// TestEndToEndRunAndCacheHit is the acceptance path: submit a mini run,
+// poll to completion, resubmit the identical scenario and verify the
+// cache hit through both the response and the /metrics counters.
+func TestEndToEndRunAndCacheHit(t *testing.T) {
+	ts, _ := testServer(t, sched.Options{})
+
+	sr, code := postRun(t, ts, miniBody(2))
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	if sr.ID == "" || sr.Hash == "" || sr.Cached {
+		t.Fatalf("bad submit response: %+v", sr)
+	}
+	st := waitDone(t, ts, sr.ID)
+	if st.State != "done" {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Summary == nil || st.Summary.PeakO3 <= 0 || st.Summary.VirtualSeconds <= 0 {
+		t.Fatalf("missing or empty summary: %+v", st.Summary)
+	}
+	if st.VirtualSeconds != st.Summary.VirtualSeconds {
+		t.Errorf("virtual seconds disagree: %g vs %g", st.VirtualSeconds, st.Summary.VirtualSeconds)
+	}
+
+	// Identical resubmission: immediate 200, cached, same answer.
+	sr2, code := postRun(t, ts, miniBody(2))
+	if code != http.StatusOK || !sr2.Cached {
+		t.Fatalf("resubmit: status %d cached=%v", code, sr2.Cached)
+	}
+	st2 := getStatus(t, ts, sr2.ID)
+	if st2.State != "done" || st2.Summary == nil {
+		t.Fatalf("cached job not immediately done: %+v", st2)
+	}
+	if st2.Summary.PeakO3 != st.Summary.PeakO3 {
+		t.Errorf("cached answer differs: %g vs %g", st2.Summary.PeakO3, st.Summary.PeakO3)
+	}
+	if hits := metric(t, ts, "airshedd_cache_hits_total"); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+	if misses := metric(t, ts, "airshedd_cache_misses_total"); misses != 1 {
+		t.Errorf("cache misses = %d, want 1", misses)
+	}
+}
+
+// TestConcurrentDuplicateSubmissionsCoalesce hammers POST /v1/runs with
+// identical scenarios while the first is in flight: all callers must get
+// the same job ID and the scenario must execute exactly once.
+func TestConcurrentDuplicateSubmissionsCoalesce(t *testing.T) {
+	ts, _ := testServer(t, sched.Options{Workers: 1})
+
+	// Occupy the single worker so duplicates stay in flight.
+	filler, code := postRun(t, ts, miniBody(3))
+	if code != http.StatusAccepted {
+		t.Fatalf("filler submit: %d", code)
+	}
+
+	const n = 8
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			sr, code := postRun(t, ts, miniBody(2))
+			if code != http.StatusAccepted {
+				t.Errorf("dup submit %d: status %d", i, code)
+				return
+			}
+			ids[i] = sr.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("duplicate submissions spread over jobs: %v", ids)
+		}
+	}
+	waitDone(t, ts, filler.ID)
+	if st := waitDone(t, ts, ids[0]); st.State != "done" {
+		t.Fatalf("coalesced job ended %s: %s", st.State, st.Error)
+	}
+	if got := metric(t, ts, "airshedd_jobs_coalesced_total"); got != n-1 {
+		t.Errorf("coalesced = %d, want %d", got, n-1)
+	}
+	if got := metric(t, ts, "airshedd_jobs_completed_total"); got != 2 {
+		t.Errorf("completed = %d, want 2 (duplicates executed?)", got)
+	}
+}
+
+// TestShutdownDrainsInFlight mirrors the SIGTERM path: with jobs queued
+// and running, Shutdown must finish them all without panics (the test
+// binary runs under -race in CI, covering the concurrency claim).
+func TestShutdownDrainsInFlight(t *testing.T) {
+	ts, scheduler := testServer(t, sched.Options{Workers: 1})
+
+	var ids []string
+	for nodes := 2; nodes <= 4; nodes++ {
+		sr, code := postRun(t, ts, miniBody(nodes))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit nodes=%d: %d", nodes, code)
+		}
+		ids = append(ids, sr.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := scheduler.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		if st := getStatus(t, ts, id); st.State != "done" {
+			t.Errorf("job %s after drain: %s (%s)", id, st.State, st.Error)
+		}
+	}
+	// Post-drain submissions are refused with 503.
+	if _, code := postRun(t, ts, miniBody(5)); code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: status %d, want 503", code)
+	}
+}
+
+func TestQueueFullReturns503(t *testing.T) {
+	ts, _ := testServer(t, sched.Options{Workers: 1, QueueDepth: 1})
+
+	first, code := postRun(t, ts, miniBody(2))
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+	// Wait until the worker picks it up so the queue is empty again.
+	deadline := time.Now().Add(30 * time.Second)
+	for getStatus(t, ts, first.ID).State == "queued" {
+		if time.Now().After(deadline) {
+			t.Fatal("job stuck in queue")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, code := postRun(t, ts, miniBody(3)); code != http.StatusAccepted {
+		t.Fatalf("second submit: %d", code)
+	}
+	got503 := false
+	for nodes := 4; nodes < 8; nodes++ {
+		if _, code := postRun(t, ts, miniBody(nodes)); code == http.StatusServiceUnavailable {
+			got503 = true
+			break
+		}
+	}
+	if !got503 {
+		t.Error("full queue never returned 503")
+	}
+	if rej := metric(t, ts, "airshedd_jobs_rejected_total"); rej == 0 {
+		t.Error("rejections not counted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	ts, _ := testServer(t, sched.Options{})
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed", `{"dataset":`},
+		{"unknown field", `{"dataset":"mini","machine":"t3e","nodes":2,"hours":1,"hepf":true}`},
+		{"unknown dataset", `{"dataset":"mars","machine":"t3e","nodes":2,"hours":1}`},
+		{"zero nodes", `{"dataset":"mini","machine":"t3e","nodes":0,"hours":1}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, code := postRun(t, ts, tc.body); code != http.StatusBadRequest {
+				t.Errorf("status %d, want 400", code)
+			}
+		})
+	}
+	// Unknown job IDs are 404.
+	resp, err := http.Get(ts.URL + "/v1/runs/j999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	ts, _ := testServer(t, sched.Options{})
+
+	get := func(query string) (predictResponse, int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/predict?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var pr predictResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return pr, resp.StatusCode
+	}
+
+	pr, code := get("dataset=mini&machine=t3e&nodes=16&hours=1")
+	if code != http.StatusOK {
+		t.Fatalf("predict: status %d", code)
+	}
+	if pr.TotalSeconds <= 0 || pr.ChemistrySeconds <= 0 || len(pr.CommByKind) == 0 {
+		t.Fatalf("empty prediction: %+v", pr)
+	}
+	// Second call reuses the cached trace and must be near-instant.
+	start := time.Now()
+	pr2, code := get("dataset=mini&machine=paragon&nodes=64&hours=1")
+	if code != http.StatusOK {
+		t.Fatalf("second predict: status %d", code)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cached-trace prediction took %v; trace cache not working?", elapsed)
+	}
+	if pr2.Machine == pr.Machine {
+		t.Errorf("machine not varied: %s", pr2.Machine)
+	}
+	// More nodes on the same machine must not predict slower compute.
+	pr3, _ := get("dataset=mini&machine=t3e&nodes=64&hours=1")
+	if pr3.ChemistrySeconds > pr.ChemistrySeconds {
+		t.Errorf("chemistry did not scale: %g s at 64 nodes vs %g s at 16",
+			pr3.ChemistrySeconds, pr.ChemistrySeconds)
+	}
+
+	if _, code := get("dataset=mini&machine=t3e&nodes=bogus&hours=1"); code != http.StatusBadRequest {
+		t.Errorf("bad nodes: status %d, want 400", code)
+	}
+	if _, code := get("dataset=mini&machine=t3e"); code != http.StatusBadRequest {
+		t.Errorf("missing nodes/hours: status %d, want 400", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := testServer(t, sched.Options{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(raw)) != "ok" {
+		t.Errorf("healthz: %d %q", resp.StatusCode, raw)
+	}
+}

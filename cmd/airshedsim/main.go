@@ -3,21 +3,27 @@
 // the run would have taken on the selected 1990s parallel computer, broken
 // down by component, exactly as the paper's experiments do.
 //
+// The flags assemble an internal/scenario spec — the same canonical
+// description cmd/airshedd serves over HTTP — so invalid combinations
+// (unknown dataset or machine, zero nodes, task mode on two nodes) fail
+// up front with a one-line error instead of deep inside the run.
+//
 // Usage:
 //
 //	airshedsim -dataset la -machine t3e -nodes 16 -hours 24 -mode data
 //	airshedsim -dataset mini -machine paragon -nodes 8 -mode task -snapshots out/
+//	airshedsim -dataset mini -machine t3e -nodes 4 -hours 2 -nox 0.5 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"airshed/internal/core"
-	"airshed/internal/datasets"
-	"airshed/internal/machine"
 	"airshed/internal/report"
+	"airshed/internal/scenario"
 )
 
 func main() {
@@ -34,50 +40,49 @@ func run() error {
 		nodes    = flag.Int("nodes", 16, "virtual machine size P")
 		hours    = flag.Int("hours", 24, "simulated hours")
 		modeStr  = flag.String("mode", "data", "parallelisation: data or task")
+		noxScale = flag.Float64("nox", 1.0, "NOx emission scale (control-strategy knob)")
+		vocScale = flag.Float64("voc", 1.0, "VOC emission scale (control-strategy knob)")
 		snapDir  = flag.String("snapshots", "", "write hourly concentration snapshots to this directory")
 		csv      = flag.Bool("csv", false, "emit the component table as CSV")
+		jsonOut  = flag.Bool("json", false, "emit the run summary as JSON instead of tables")
 		saveTr   = flag.String("save-trace", "", "save the work trace to this file for later replay")
 		restart  = flag.String("restart", "", "resume from this hourly snapshot file (sets the start hour and initial state)")
 	)
 	flag.Parse()
 
-	ds, err := datasets.ByName(*dataset)
+	spec := scenario.Spec{
+		Dataset:  *dataset,
+		Machine:  *machName,
+		Nodes:    *nodes,
+		Hours:    *hours,
+		Mode:     *modeStr,
+		NOxScale: *noxScale,
+		VOCScale: *vocScale,
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	cfg, err := spec.Config()
 	if err != nil {
 		return err
 	}
-	prof, err := machine.ByName(*machName)
-	if err != nil {
-		return err
-	}
-	var mode core.Mode
-	switch *modeStr {
-	case "data":
-		mode = core.DataParallel
-	case "task":
-		mode = core.TaskParallel
-	default:
-		return fmt.Errorf("unknown mode %q (data or task)", *modeStr)
-	}
+	cfg.SnapshotDir = *snapDir
+	cfg.GoParallel = true
 	if *snapDir != "" {
 		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
 			return err
 		}
 	}
 
-	fmt.Printf("Airshed: %s data set %v, %s, %d nodes, %d hours, %s\n",
-		ds.Name, ds.Shape, prof.Name, *nodes, *hours, mode)
-	cfg := core.Config{
-		Dataset:     ds,
-		Machine:     prof,
-		Nodes:       *nodes,
-		Hours:       *hours,
-		Mode:        mode,
-		SnapshotDir: *snapDir,
-		GoParallel:  true,
+	if !*jsonOut {
+		fmt.Printf("Airshed: %s data set %v, %s, %d nodes, %d hours, %s\n",
+			cfg.Dataset.Name, cfg.Dataset.Shape, cfg.Machine.Name, cfg.Nodes, cfg.Hours, cfg.Mode)
 	}
 	var res *core.Result
 	if *restart != "" {
-		fmt.Printf("resuming from snapshot %s\n", *restart)
+		if !*jsonOut {
+			fmt.Printf("resuming from snapshot %s\n", *restart)
+		}
 		res, err = core.Restart(*restart, cfg)
 	} else {
 		res, err = core.Run(cfg)
@@ -86,40 +91,50 @@ func run() error {
 		return err
 	}
 
-	tb := report.NewTable("Virtual execution time by component", "Component", "Seconds", "Share %")
-	total := res.Ledger.Total
-	for cat, secs := range res.Ledger.ByCat {
-		if secs == 0 {
-			continue
-		}
-		tb.AddRow(cat.String(), secs, 100*secs/total)
-	}
-	tb.AddRow("TOTAL", total, 100.0)
-	if *csv {
-		if err := tb.WriteCSV(os.Stdout); err != nil {
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report.Summarize(res)); err != nil {
 			return err
 		}
-	} else if err := tb.Write(os.Stdout); err != nil {
-		return err
-	}
+	} else {
+		tb := report.NewTable("Virtual execution time by component", "Component", "Seconds", "Share %")
+		total := res.Ledger.Total
+		for cat, secs := range res.Ledger.ByCat {
+			if secs == 0 {
+				continue
+			}
+			tb.AddRow(cat.String(), secs, 100*secs/total)
+		}
+		tb.AddRow("TOTAL", total, 100.0)
+		if *csv {
+			if err := tb.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := tb.Write(os.Stdout); err != nil {
+			return err
+		}
 
-	ct := report.NewTable("Redistribution steps", "Kind", "Count", "Seconds")
-	for _, k := range core.RedistKinds() {
-		ct.AddRow(k, res.RedistCounts[k], res.CommSeconds[k])
-	}
-	if err := ct.Write(os.Stdout); err != nil {
-		return err
-	}
+		ct := report.NewTable("Redistribution steps", "Kind", "Count", "Seconds")
+		for _, k := range core.RedistKinds() {
+			ct.AddRow(k, res.RedistCounts[k], res.CommSeconds[k])
+		}
+		if err := ct.Write(os.Stdout); err != nil {
+			return err
+		}
 
-	fmt.Printf("inner time steps: %d (runtime determined from hourly winds)\n", res.TotalSteps)
-	fmt.Printf("parallel efficiency: %.1f%% (average node busy fraction)\n", 100*res.Efficiency)
-	fmt.Printf("peak ground-level ozone: %.4f ppm at cell %d\n", res.PeakO3, res.PeakO3Cell)
+		fmt.Printf("inner time steps: %d (runtime determined from hourly winds)\n", res.TotalSteps)
+		fmt.Printf("parallel efficiency: %.1f%% (average node busy fraction)\n", 100*res.Efficiency)
+		fmt.Printf("peak ground-level ozone: %.4f ppm at cell %d\n", res.PeakO3, res.PeakO3Cell)
+	}
 
 	if *saveTr != "" {
 		if err := core.SaveTrace(*saveTr, res.Trace); err != nil {
 			return err
 		}
-		fmt.Printf("work trace saved to %s\n", *saveTr)
+		if !*jsonOut {
+			fmt.Printf("work trace saved to %s\n", *saveTr)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -169,12 +170,24 @@ func StepsForHour(in *meteo.HourInput, minCell float64, maxSteps int) int {
 
 // Run executes the simulation and returns the result.
 func (s *Simulation) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the simulation, checking ctx at every hour and
+// every inner time step; on cancellation it abandons the run and returns
+// an error wrapping ctx.Err(). The check granularity is one step — the
+// smallest unit after which the virtual machine state is consistent — so
+// a cancelled job stops within a fraction of a simulated hour.
+func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 	ds := s.cfg.Dataset
 	sh := ds.Shape
 	prov := ds.Provider
 	mech := ds.Mechanism()
 
 	for hour := s.cfg.StartHour; hour < s.cfg.StartHour+s.cfg.Hours; hour++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: run abandoned before hour %d: %w", hour, err)
+		}
 		in, err := prov.HourInput(hour)
 		if err != nil {
 			return nil, err
@@ -205,6 +218,9 @@ func (s *Simulation) Run() (*Result, error) {
 		}
 
 		for step := 0; step < nsteps; step++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: run abandoned at hour %d step %d: %w", hour, step, err)
+			}
 			st := StepTrace{
 				LayerFlops: make([]float64, sh.Layers),
 				CellFlops:  make([]float64, sh.Cells),
@@ -477,11 +493,17 @@ func (s *Simulation) writeSnapshot(hour int, conc []float64) (int64, error) {
 
 // Run is the convenience entry point: build and run a simulation.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is the context-aware convenience entry point: build and run
+// a simulation that honours ctx cancellation between time steps.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	s, err := NewSimulation(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }
 
 // Restart resumes a simulation from an hourly snapshot file written by a

@@ -228,6 +228,20 @@ func ByName(key string) (*Dataset, error) {
 	}
 }
 
+// Names returns the canonical dataset keys accepted by ByName, sorted.
+// It is cheap — no dataset is constructed — so callers can validate a key
+// without building grids and providers.
+func Names() []string { return []string{"la", "mini", "ne"} }
+
+// Known reports whether key (case-insensitively) names a dataset.
+func Known(key string) bool {
+	switch key {
+	case "la", "LA", "ne", "NE", "mini", "Mini", "MINI":
+		return true
+	}
+	return false
+}
+
 // hourVolume estimates the byte volume of one hour's input processing
 // (meteorology + emissions + boundary conditions) plus output processing
 // (the concentration snapshot), which the sequential I/O phases handle.

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"airshed/internal/core"
+)
+
+// RunSummary is the JSON-serialisable digest of a core.Result: the
+// numbers a client of the scenario service (or airshedsim -json) needs,
+// without the bulk fields — the full concentration array and the work
+// trace stay server-side. Both cmd/airshedd's status responses and
+// cmd/airshedsim share this shape, so scripted consumers see one format.
+type RunSummary struct {
+	// Machine and Nodes identify the virtual machine that was charged.
+	Machine string `json:"machine"`
+	Nodes   int    `json:"nodes"`
+
+	// VirtualSeconds is the modelled execution time; BySeconds breaks it
+	// down per component (chemistry, transport, I/O, ...).
+	VirtualSeconds float64            `json:"virtual_seconds"`
+	BySeconds      map[string]float64 `json:"by_component_seconds"`
+
+	// TotalSteps is the number of inner time steps (runtime determined
+	// from the hourly winds).
+	TotalSteps int `json:"total_steps"`
+
+	// Efficiency is the average node busy fraction.
+	Efficiency float64 `json:"efficiency"`
+
+	// PeakO3 is the maximum ground-layer ozone (ppm) at PeakO3Cell;
+	// HourlyPeakO3 is the per-hour ground-layer maximum.
+	PeakO3       float64   `json:"peak_o3_ppm"`
+	PeakO3Cell   int       `json:"peak_o3_cell"`
+	HourlyPeakO3 []float64 `json:"hourly_peak_o3_ppm,omitempty"`
+
+	// CommSeconds and RedistCounts record the redistribution phases
+	// (Figure 5's breakdown).
+	CommSeconds  map[string]float64 `json:"comm_seconds,omitempty"`
+	RedistCounts map[string]int     `json:"redist_counts,omitempty"`
+}
+
+// Summarize digests a result. Only result-derived fields are filled;
+// callers wanting the request echoed back (dataset, hours, mode) wrap
+// the summary in their own envelope.
+func Summarize(res *core.Result) *RunSummary {
+	s := &RunSummary{
+		Machine:        res.Ledger.Machine,
+		Nodes:          res.Ledger.Nodes,
+		VirtualSeconds: res.Ledger.Total,
+		BySeconds:      make(map[string]float64, len(res.Ledger.ByCat)),
+		TotalSteps:     res.TotalSteps,
+		Efficiency:     res.Efficiency,
+		PeakO3:         res.PeakO3,
+		PeakO3Cell:     res.PeakO3Cell,
+		HourlyPeakO3:   res.HourlyPeakO3,
+		CommSeconds:    res.CommSeconds,
+		RedistCounts:   res.RedistCounts,
+	}
+	for cat, secs := range res.Ledger.ByCat {
+		if secs != 0 {
+			s.BySeconds[cat.String()] = secs
+		}
+	}
+	return s
+}

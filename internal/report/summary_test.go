@@ -1,0 +1,57 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+
+	"airshed/internal/core"
+	"airshed/internal/datasets"
+	"airshed/internal/machine"
+)
+
+func TestSummarizeRoundTripsJSON(t *testing.T) {
+	ds, err := datasets.Mini()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.Config{Dataset: ds, Machine: machine.CrayT3E(), Nodes: 2, Hours: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(res)
+	if s.Machine != "Cray T3E" || s.Nodes != 2 {
+		t.Errorf("machine identity wrong: %s/%d", s.Machine, s.Nodes)
+	}
+	if s.VirtualSeconds != res.Ledger.Total {
+		t.Errorf("VirtualSeconds = %g, want %g", s.VirtualSeconds, res.Ledger.Total)
+	}
+	if s.PeakO3 != res.PeakO3 || s.TotalSteps != res.TotalSteps {
+		t.Errorf("diagnostics not carried over: %+v", s)
+	}
+	if len(s.BySeconds) == 0 {
+		t.Error("no per-component breakdown")
+	}
+	var sum float64
+	for _, v := range s.BySeconds {
+		sum += v
+	}
+	// Components are per-category maxima over nodes; their sum bounds the
+	// total from above and no single component exceeds the total.
+	for k, v := range s.BySeconds {
+		if v > s.VirtualSeconds {
+			t.Errorf("component %s (%g s) exceeds total %g s", k, v, s.VirtualSeconds)
+		}
+	}
+
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunSummary
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.VirtualSeconds != s.VirtualSeconds || back.PeakO3 != s.PeakO3 {
+		t.Errorf("JSON round trip lost data: %+v vs %+v", back, s)
+	}
+}

@@ -1,0 +1,212 @@
+// Package scenario defines the canonical description of one Airshed run:
+// which data set, which machine profile, how many nodes and hours, which
+// parallelisation mode, and the physics toggles (emission controls,
+// chemistry tolerance, step cap) that change the answer. A Spec is the
+// shared currency between the CLIs (cmd/airshedsim) and the scenario
+// service (internal/sched, cmd/airshedd): both validate requests with
+// Spec.Validate and build core.Config with Spec.Config, and the service
+// dedupes semantically identical requests by Spec.Hash — a stable content
+// hash over the normalized fields, so "LA" and "la" (or an omitted mode
+// and an explicit "data") collapse to the same cache key.
+//
+// Fields deliberately exclude anything that does not change the result or
+// the virtual-time accounting (host goroutine parallelism, snapshot
+// directories, trace file paths); those stay per-invocation options so
+// the cache never splits on them.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"airshed/internal/chemistry"
+	"airshed/internal/core"
+	"airshed/internal/datasets"
+	"airshed/internal/machine"
+	"airshed/internal/meteo"
+)
+
+// Mode strings accepted by Spec.Mode.
+const (
+	ModeData = "data"
+	ModeTask = "task"
+)
+
+// Spec is one scenario: a complete, canonicalisable description of a run.
+// The zero values of the optional fields mean "default" and normalize to
+// the explicit defaults, so a minimal JSON request like
+// {"dataset":"mini","machine":"t3e","nodes":4,"hours":2} is a full spec.
+type Spec struct {
+	// Dataset is a datasets.ByName key: "la", "ne" or "mini".
+	Dataset string `json:"dataset"`
+	// Machine is a machine.ByName key: "t3e", "t3d", "paragon", "gohost".
+	Machine string `json:"machine"`
+	// Nodes is the virtual machine size P.
+	Nodes int `json:"nodes"`
+	// Hours is the number of simulated hours.
+	Hours int `json:"hours"`
+	// StartHour is the first simulated hour (0 = midnight of day one).
+	StartHour int `json:"start_hour,omitempty"`
+	// Mode is "data" (Sections 2-4) or "task" (Section 5 pipeline);
+	// empty means "data".
+	Mode string `json:"mode,omitempty"`
+	// NOxScale and VOCScale multiply the anthropogenic NOx and organic
+	// emission shares — the emission-control-strategy knobs the paper
+	// names as Airshed's purpose. Zero means 1.0 (base inventory).
+	NOxScale float64 `json:"nox_scale,omitempty"`
+	VOCScale float64 `json:"voc_scale,omitempty"`
+	// ChemRelTol overrides the Young-Boris relative tolerance; zero means
+	// chemistry.DefaultConfig().RelTol.
+	ChemRelTol float64 `json:"chem_rel_tol,omitempty"`
+	// MaxStepsPerHour caps the runtime-determined step count; zero means
+	// the core default.
+	MaxStepsPerHour int `json:"max_steps_per_hour,omitempty"`
+}
+
+// Normalize returns the canonical form of the spec: keys lower-cased,
+// empty mode resolved to "data", zero scale factors resolved to 1.0.
+// Hash and the scheduler's dedup operate on the normalized form, so
+// callers may pass un-normalized specs everywhere.
+func (s Spec) Normalize() Spec {
+	s.Dataset = strings.ToLower(strings.TrimSpace(s.Dataset))
+	s.Machine = strings.ToLower(strings.TrimSpace(s.Machine))
+	s.Mode = strings.ToLower(strings.TrimSpace(s.Mode))
+	if s.Mode == "" {
+		s.Mode = ModeData
+	}
+	if s.NOxScale == 0 {
+		s.NOxScale = 1.0
+	}
+	if s.VOCScale == 0 {
+		s.VOCScale = 1.0
+	}
+	return s
+}
+
+// Validate reports the first problem with the (normalized) spec as a
+// single-line error suitable for CLI and HTTP 400 messages. It is cheap:
+// no dataset or machine is constructed.
+func (s Spec) Validate() error {
+	n := s.Normalize()
+	switch {
+	case n.Dataset == "":
+		return fmt.Errorf("scenario: missing dataset (known: %s)", strings.Join(datasets.Names(), ", "))
+	case !datasets.Known(n.Dataset):
+		return fmt.Errorf("scenario: unknown dataset %q (known: %s)", s.Dataset, strings.Join(datasets.Names(), ", "))
+	case n.Machine == "":
+		return fmt.Errorf("scenario: missing machine (known: %s)", strings.Join(machine.Names(), ", "))
+	case n.Nodes <= 0:
+		return fmt.Errorf("scenario: nodes must be positive, got %d", n.Nodes)
+	case n.Hours <= 0:
+		return fmt.Errorf("scenario: hours must be positive, got %d", n.Hours)
+	case n.StartHour < 0:
+		return fmt.Errorf("scenario: start_hour must be non-negative, got %d", n.StartHour)
+	case n.Mode != ModeData && n.Mode != ModeTask:
+		return fmt.Errorf("scenario: unknown mode %q (data or task)", s.Mode)
+	case n.Mode == ModeTask && n.Nodes < 3:
+		return fmt.Errorf("scenario: task mode needs at least 3 nodes, got %d", n.Nodes)
+	case n.NOxScale <= 0 || n.VOCScale <= 0:
+		return fmt.Errorf("scenario: emission scales must be positive, got nox=%g voc=%g", n.NOxScale, n.VOCScale)
+	case n.ChemRelTol < 0:
+		return fmt.Errorf("scenario: chem_rel_tol must be non-negative, got %g", n.ChemRelTol)
+	case n.MaxStepsPerHour < 0:
+		return fmt.Errorf("scenario: max_steps_per_hour must be non-negative, got %d", n.MaxStepsPerHour)
+	}
+	if _, err := machine.ByName(n.Machine); err != nil {
+		return fmt.Errorf("scenario: unknown machine %q (known: %s)", s.Machine, strings.Join(machine.Names(), ", "))
+	}
+	return nil
+}
+
+// Hash returns the stable content hash of the normalized spec: a
+// hex-encoded SHA-256 over a canonical field encoding. Two specs hash
+// equal exactly when they describe the same run, which is the dedup and
+// cache-key contract the scheduler relies on.
+func (s Spec) Hash() string {
+	n := s.Normalize()
+	h := sha256.New()
+	// One "key=value" line per field, fixed order and formatting. New
+	// fields must append lines (never reorder) and give their zero value
+	// the historical meaning, or every existing cache key changes.
+	fmt.Fprintf(h, "dataset=%s\n", n.Dataset)
+	fmt.Fprintf(h, "machine=%s\n", n.Machine)
+	fmt.Fprintf(h, "nodes=%d\n", n.Nodes)
+	fmt.Fprintf(h, "hours=%d\n", n.Hours)
+	fmt.Fprintf(h, "start_hour=%d\n", n.StartHour)
+	fmt.Fprintf(h, "mode=%s\n", n.Mode)
+	fmt.Fprintf(h, "nox_scale=%g\n", n.NOxScale)
+	fmt.Fprintf(h, "voc_scale=%g\n", n.VOCScale)
+	fmt.Fprintf(h, "chem_rel_tol=%g\n", n.ChemRelTol)
+	fmt.Fprintf(h, "max_steps_per_hour=%d\n", n.MaxStepsPerHour)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CoreMode converts the spec's mode string to the core enum. The spec
+// must have been validated.
+func (s Spec) CoreMode() core.Mode {
+	if s.Normalize().Mode == ModeTask {
+		return core.TaskParallel
+	}
+	return core.DataParallel
+}
+
+// Config validates the spec and assembles the core.Config it describes:
+// the dataset is constructed (with emission scales applied to its
+// inventory when not 1.0), the machine profile resolved, and the physics
+// toggles translated. Per-invocation options that do not affect results
+// (GoParallel, SnapshotDir) are left zero for the caller to set.
+func (s Spec) Config() (core.Config, error) {
+	if err := s.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	n := s.Normalize()
+	ds, err := datasets.ByName(n.Dataset)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if n.NOxScale != 1.0 || n.VOCScale != 1.0 {
+		scn := ds.Provider.Scenario()
+		scn.NOxScale *= n.NOxScale
+		scn.VOCScale *= n.VOCScale
+		scn.Name = fmt.Sprintf("%s (NOx x%.2f, VOC x%.2f)", scn.Name, n.NOxScale, n.VOCScale)
+		prov, err := meteo.NewSynthetic(scn, ds.Grid(), ds.Mechanism(), ds.Geometry())
+		if err != nil {
+			return core.Config{}, err
+		}
+		ds.Provider = prov
+	}
+	prof, err := machine.ByName(n.Machine)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Config{
+		Dataset:         ds,
+		Machine:         prof,
+		Nodes:           n.Nodes,
+		Hours:           n.Hours,
+		StartHour:       n.StartHour,
+		Mode:            s.CoreMode(),
+		MaxStepsPerHour: n.MaxStepsPerHour,
+	}
+	if n.ChemRelTol > 0 {
+		cc := chemistry.DefaultConfig()
+		cc.RelTol = n.ChemRelTol
+		cfg.Chemistry = &cc
+	}
+	return cfg, nil
+}
+
+// String renders the spec compactly for logs and reports.
+func (s Spec) String() string {
+	n := s.Normalize()
+	out := fmt.Sprintf("%s/%s p=%d h=%d mode=%s", n.Dataset, n.Machine, n.Nodes, n.Hours, n.Mode)
+	if n.StartHour != 0 {
+		out += fmt.Sprintf(" start=%d", n.StartHour)
+	}
+	if n.NOxScale != 1 || n.VOCScale != 1 {
+		out += fmt.Sprintf(" nox=%g voc=%g", n.NOxScale, n.VOCScale)
+	}
+	return out
+}

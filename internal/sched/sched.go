@@ -1,0 +1,496 @@
+// Package sched is the concurrent execution engine of the scenario
+// service: a bounded worker pool that runs core simulations from a FIFO
+// queue, coalesces duplicate in-flight scenarios into a single
+// execution, and serves repeated scenarios from an LRU result cache
+// keyed by the scenario content hash (package scenario).
+//
+// The design target is the ROADMAP's serving workload: many clients
+// submitting overlapping what-if scenarios (emission-control sweeps,
+// machine/node sweeps) where the same run is requested far more often
+// than it is unique. Submissions resolve in one of three ways, and the
+// counters partition exactly along those lines:
+//
+//   - cache hit: the scenario already completed; a finished job is
+//     returned immediately, sharing the cached result;
+//   - coalesced: an identical scenario is queued or running; the caller
+//     is attached to that job (same job ID) instead of enqueueing a
+//     duplicate — the single-flight guarantee;
+//   - cache miss: the scenario is enqueued, or rejected with
+//     ErrQueueFull when the bounded queue is at depth.
+//
+// Every job carries a context cancelled by Cancel, by the per-job
+// timeout, or by scheduler shutdown-with-deadline; the core driver
+// checks it between time steps, so cancellation lands mid-run. Shutdown
+// without a deadline drains: queued jobs still execute (the SIGTERM
+// behaviour of cmd/airshedd).
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"airshed/internal/core"
+	"airshed/internal/scenario"
+)
+
+// Sentinel errors returned by Submit and friends.
+var (
+	// ErrQueueFull rejects a submission when the FIFO queue is at depth.
+	ErrQueueFull = errors.New("sched: queue full")
+	// ErrShuttingDown rejects submissions after Shutdown has begun.
+	ErrShuttingDown = errors.New("sched: shutting down")
+	// ErrUnknownJob reports a job ID the scheduler has never issued.
+	ErrUnknownJob = errors.New("sched: unknown job")
+	// ErrJobFinished reports a Cancel on an already-finished job.
+	ErrJobFinished = errors.New("sched: job already finished")
+)
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	// Queued means the job is waiting in the FIFO queue.
+	Queued State = iota
+	// Running means a worker is executing the simulation.
+	Running
+	// Done means the run completed and the result is available.
+	Done
+	// Failed means the run returned an error (including timeout).
+	Failed
+	// Cancelled means the job was cancelled before or during the run.
+	Cancelled
+)
+
+// String names the state for reports and JSON.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Options configures a Scheduler. Zero values take the documented
+// defaults.
+type Options struct {
+	// Workers is the worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the FIFO queue (default 32). A full queue
+	// rejects submissions with ErrQueueFull rather than blocking the
+	// caller — backpressure belongs at the edge.
+	QueueDepth int
+	// CacheEntries caps the result cache by entry count (default 64;
+	// negative disables caching).
+	CacheEntries int
+	// CacheBytes caps the cache by approximate result bytes (default
+	// 512 MiB; 0 means the default, negative means unlimited).
+	CacheBytes int64
+	// JobTimeout bounds each run's execution time once it starts
+	// (0 = no timeout). A timed-out job fails with context.DeadlineExceeded.
+	JobTimeout time.Duration
+	// GoParallel enables host goroutine parallelism inside each run (it
+	// does not affect results, only wall time).
+	GoParallel bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 32
+	}
+	switch {
+	case o.CacheEntries < 0:
+		o.CacheEntries = 0
+	case o.CacheEntries == 0:
+		o.CacheEntries = 64
+	}
+	switch {
+	case o.CacheBytes < 0:
+		o.CacheBytes = 0 // unlimited
+	case o.CacheBytes == 0:
+		o.CacheBytes = 512 << 20
+	}
+	return o
+}
+
+// Counters is a point-in-time snapshot of the scheduler's metrics.
+// Submitted = CacheHits + Coalesced + CacheMisses + Rejected: every
+// submission resolves to exactly one of those outcomes, and every
+// cache-missed job eventually lands in Completed, Failed or Cancelled.
+type Counters struct {
+	Submitted   uint64
+	Completed   uint64
+	Failed      uint64
+	Cancelled   uint64
+	Rejected    uint64
+	Coalesced   uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	Evictions   uint64
+
+	// Gauges.
+	QueueDepth   int
+	BusyWorkers  int
+	CacheEntries int
+	CacheBytes   int64
+}
+
+// job is the scheduler's internal job record; all mutable fields are
+// guarded by the scheduler mutex.
+type job struct {
+	id   string
+	hash string
+	spec scenario.Spec
+
+	state  State
+	cached bool
+	err    error
+	result *core.Result
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{} // closed on terminal state
+}
+
+// JobStatus is an immutable snapshot of one job, safe to hold across
+// scheduler operations. Result is shared (do not modify) and only
+// non-nil once State == Done.
+type JobStatus struct {
+	ID     string
+	Hash   string
+	Spec   scenario.Spec
+	State  State
+	Cached bool
+	Err    error
+	Result *core.Result
+
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+
+	// WallSeconds is the real execution time of the run (0 until it
+	// finishes; 0 forever for cache hits — that is the point).
+	WallSeconds float64
+	// VirtualSeconds is the simulated machine's execution time
+	// (Result.Ledger.Total) once the run is done.
+	VirtualSeconds float64
+}
+
+// Scheduler runs scenarios on a bounded worker pool with single-flight
+// dedup and an LRU result cache. Create with New, stop with Shutdown.
+type Scheduler struct {
+	opts Options
+
+	mu       sync.Mutex
+	jobs     map[string]*job // by job ID
+	inflight map[string]*job // by scenario hash; queued or running
+	cache    *resultCache
+	counters Counters
+	seq      uint64
+	closed   bool
+
+	queue   chan *job
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	stopAll context.CancelFunc
+}
+
+// New starts a scheduler with opts' worker pool.
+func New(opts Options) *Scheduler {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		opts:     opts,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		cache:    newResultCache(opts.CacheEntries, opts.CacheBytes),
+		queue:    make(chan *job, opts.QueueDepth),
+		baseCtx:  ctx,
+		stopAll:  cancel,
+	}
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit resolves a scenario submission: cache hit, coalesce onto the
+// in-flight twin, or enqueue. The returned status is the job to poll;
+// errors are validation failures, ErrQueueFull or ErrShuttingDown.
+func (s *Scheduler) Submit(spec scenario.Spec) (JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	spec = spec.Normalize()
+	hash := spec.Hash()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, ErrShuttingDown
+	}
+	s.counters.Submitted++
+
+	// Cache hit: issue an already-finished job sharing the cached result.
+	if res, ok := s.cache.get(hash); ok {
+		s.counters.CacheHits++
+		j := s.newJobLocked(spec, hash)
+		j.state = Done
+		j.cached = true
+		j.result = res
+		j.finished = j.submitted
+		close(j.done)
+		return j.statusLocked(), nil
+	}
+
+	// Single-flight: attach to the queued/running twin.
+	if twin, ok := s.inflight[hash]; ok {
+		s.counters.Coalesced++
+		return twin.statusLocked(), nil
+	}
+	s.counters.CacheMisses++
+
+	j := s.newJobLocked(spec, hash)
+	select {
+	case s.queue <- j:
+	default:
+		// Undo the record: a rejected job never existed.
+		s.counters.CacheMisses--
+		s.counters.Rejected++
+		delete(s.jobs, j.id)
+		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.opts.QueueDepth)
+	}
+	s.inflight[hash] = j
+	return j.statusLocked(), nil
+}
+
+// newJobLocked allocates and registers a job record; s.mu held.
+func (s *Scheduler) newJobLocked(spec scenario.Spec, hash string) *job {
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.seq),
+		hash:      hash,
+		spec:      spec,
+		state:     Queued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	return j
+}
+
+// Status snapshots a job by ID.
+func (s *Scheduler) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j.statusLocked(), nil
+}
+
+// Await blocks until the job reaches a terminal state or ctx expires,
+// then returns its final status.
+func (s *Scheduler) Await(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	select {
+	case <-j.done:
+		return s.Status(id)
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// Cancel cancels a job: a queued job is finalised immediately, a running
+// job has its context cancelled and finalises when the driver notices
+// (within one time step). Cancelling a finished job returns
+// ErrJobFinished.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	switch j.state {
+	case Queued:
+		// The worker will skip it when dequeued.
+		s.finalizeLocked(j, Cancelled, nil, context.Canceled)
+		return nil
+	case Running:
+		j.cancel()
+		return nil
+	default:
+		return fmt.Errorf("%w: %q is %s", ErrJobFinished, id, j.state)
+	}
+}
+
+// Counters snapshots the metrics.
+func (s *Scheduler) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters
+	c.QueueDepth = len(s.queue)
+	c.Evictions = s.cache.evictions
+	c.CacheEntries = s.cache.len()
+	c.CacheBytes = s.cache.bytes
+	return c
+}
+
+// Shutdown stops intake and waits for the pool to finish. Queued jobs
+// are drained (executed), matching the daemon's SIGTERM contract; if ctx
+// expires first, all remaining jobs are cancelled and Shutdown waits for
+// the workers to observe that, returning ctx's error. Shutdown is
+// idempotent only in effect — call it once.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue) // Submit checks closed under mu, so no send can race
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.stopAll() // cancel every running job's context
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker executes jobs from the queue until it closes.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end.
+func (s *Scheduler) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != Queued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if s.opts.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.cancel = cancel
+	s.counters.BusyWorkers++
+	s.mu.Unlock()
+	defer cancel()
+
+	res, err := s.execute(ctx, j.spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.BusyWorkers--
+	switch {
+	case err == nil:
+		s.cache.put(j.hash, res)
+		s.finalizeLocked(j, Done, res, nil)
+	case errors.Is(err, context.Canceled):
+		s.finalizeLocked(j, Cancelled, nil, err)
+	default:
+		s.finalizeLocked(j, Failed, nil, err)
+	}
+}
+
+// execute builds the core config and runs the simulation.
+func (s *Scheduler) execute(ctx context.Context, spec scenario.Spec) (*core.Result, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.GoParallel = s.opts.GoParallel
+	return core.RunContext(ctx, cfg)
+}
+
+// finalizeLocked moves a job to a terminal state; s.mu held.
+func (s *Scheduler) finalizeLocked(j *job, st State, res *core.Result, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = st
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	delete(s.inflight, j.hash)
+	switch st {
+	case Done:
+		s.counters.Completed++
+	case Failed:
+		s.counters.Failed++
+	case Cancelled:
+		s.counters.Cancelled++
+	}
+	close(j.done)
+}
+
+// statusLocked snapshots the job; scheduler mutex held.
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Hash:        j.hash,
+		Spec:        j.spec,
+		State:       j.state,
+		Cached:      j.cached,
+		Err:         j.err,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.state.Terminal() {
+		st.Result = j.result
+		if !j.started.IsZero() {
+			st.WallSeconds = j.finished.Sub(j.started).Seconds()
+		}
+		if j.result != nil {
+			st.VirtualSeconds = j.result.Ledger.Total
+		}
+	}
+	return st
+}
