@@ -4,13 +4,22 @@
 // result cache, and answers Section 4 analytic performance predictions
 // without running the numerics at the requested scale.
 //
+// With -store the daemon is additionally backed by a persistent
+// artifact store (internal/store): completed results survive restarts,
+// and new runs warm-start from checkpoints of any stored scenario that
+// shares a physics prefix — the batch sweep endpoint exploits this to
+// run whole policy studies at a fraction of N cold runs.
+//
 // API:
 //
 //	POST /v1/runs          submit a scenario (JSON spec), returns job id
 //	GET  /v1/runs/{id}     job status + result summary once done
+//	POST /v1/sweeps        submit a batch study (JSON sweep.Request)
+//	GET  /v1/sweeps        list sweeps
+//	GET  /v1/sweeps/{id}   sweep progress + aggregate policy table
 //	GET  /v1/predict       analytic prediction (?dataset=&machine=&nodes=&hours=)
 //	GET  /healthz          liveness
-//	GET  /metrics          plain-text scheduler counters
+//	GET  /metrics          plain-text scheduler + store counters
 //
 // On SIGTERM/SIGINT the daemon stops accepting work, drains the queue
 // (bounded by -drain-timeout, after which running jobs are cancelled)
@@ -18,8 +27,10 @@
 //
 // Usage:
 //
-//	airshedd -addr :8080 -workers 4 -cache-entries 128
+//	airshedd -addr :8080 -workers 4 -cache-entries 128 -store /var/lib/airshed
 //	curl -s localhost:8080/v1/runs -d '{"dataset":"mini","machine":"t3e","nodes":4,"hours":2}'
+//	curl -s localhost:8080/v1/sweeps -d '{"base":{"dataset":"mini","machine":"t3e","nodes":4,"hours":3},
+//	  "grid":{"nox_scales":[0.8,0.6],"control_start_hours":[2]}}'
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"time"
 
 	"airshed/internal/sched"
+	"airshed/internal/store"
 )
 
 func main() {
@@ -53,9 +65,20 @@ func run() error {
 		cacheMB      = flag.Int64("cache-mb", 512, "result cache capacity in MiB (approximate)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job execution timeout (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain the queue on shutdown")
+		storeDir     = flag.String("store", "", "artifact store directory (empty disables persistence)")
+		storeMB      = flag.Int64("store-mb", 2048, "artifact store size cap in MiB (<= 0 unlimited)")
 	)
 	flag.Parse()
 
+	var artifacts *store.Store
+	if *storeDir != "" {
+		var err error
+		if artifacts, err = store.Open(*storeDir, *storeMB<<20); err != nil {
+			return err
+		}
+		fmt.Printf("airshedd: artifact store at %s (%d entries, %.1f MiB)\n",
+			artifacts.Dir(), artifacts.Len(), float64(artifacts.Bytes())/(1<<20))
+	}
 	scheduler := sched.New(sched.Options{
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
@@ -63,8 +86,9 @@ func run() error {
 		CacheBytes:   *cacheMB << 20,
 		JobTimeout:   *jobTimeout,
 		GoParallel:   true,
+		Store:        artifacts,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newServer(scheduler).handler()}
+	srv := &http.Server{Addr: *addr, Handler: newServer(scheduler, artifacts).handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

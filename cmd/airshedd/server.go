@@ -14,6 +14,8 @@ import (
 	"airshed/internal/report"
 	"airshed/internal/scenario"
 	"airshed/internal/sched"
+	"airshed/internal/store"
+	"airshed/internal/sweep"
 )
 
 // server wires the scheduler and the analytic performance model behind
@@ -24,7 +26,9 @@ import (
 // request for a configuration traces it once at 1 node and every later
 // prediction for any machine or node count is instant.
 type server struct {
-	sched *sched.Scheduler
+	sched  *sched.Scheduler
+	store  *store.Store // nil when -store is unset
+	sweeps *sweep.Engine
 
 	traceMu sync.Mutex
 	traces  map[string]*traceEntry
@@ -36,8 +40,13 @@ type traceEntry struct {
 	err   error
 }
 
-func newServer(s *sched.Scheduler) *server {
-	return &server{sched: s, traces: make(map[string]*traceEntry)}
+func newServer(s *sched.Scheduler, st *store.Store) *server {
+	return &server{
+		sched:  s,
+		store:  st,
+		sweeps: sweep.NewEngine(s),
+		traces: make(map[string]*traceEntry),
+	}
 }
 
 // handler builds the route table.
@@ -45,6 +54,9 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -53,10 +65,11 @@ func (s *server) handler() http.Handler {
 
 // submitResponse acknowledges a submission.
 type submitResponse struct {
-	ID     string `json:"id"`
-	Hash   string `json:"hash"`
-	State  string `json:"state"`
-	Cached bool   `json:"cached"`
+	ID        string `json:"id"`
+	Hash      string `json:"hash"`
+	State     string `json:"state"`
+	Cached    bool   `json:"cached"`
+	FromStore bool   `json:"from_store,omitempty"`
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -81,7 +94,45 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if st.Cached {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, submitResponse{ID: st.ID, Hash: st.Hash, State: st.State.String(), Cached: st.Cached})
+	writeJSON(w, code, submitResponse{
+		ID:        st.ID,
+		Hash:      st.Hash,
+		State:     st.State.String(),
+		Cached:    st.Cached,
+		FromStore: st.FromStore,
+	})
+}
+
+// handleSweepSubmit accepts a batch study and starts it in the
+// background; poll GET /v1/sweeps/{id} for progress and the aggregate
+// policy table.
+func (s *server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req sweep.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad sweep JSON: %v", err))
+		return
+	}
+	st, err := s.sweeps.Start(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sweeps.Status(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sweeps.List())
 }
 
 // statusResponse reports one job; Summary is present once the run is
@@ -92,6 +143,9 @@ type statusResponse struct {
 	Spec           scenario.Spec      `json:"spec"`
 	State          string             `json:"state"`
 	Cached         bool               `json:"cached"`
+	FromStore      bool               `json:"from_store,omitempty"`
+	WarmStartHour  int                `json:"warm_start_hour,omitempty"`
+	PhysicsReplay  bool               `json:"physics_replay,omitempty"`
 	Error          string             `json:"error,omitempty"`
 	WallSeconds    float64            `json:"wall_seconds,omitempty"`
 	VirtualSeconds float64            `json:"virtual_seconds,omitempty"`
@@ -110,6 +164,9 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Spec:           st.Spec,
 		State:          st.State.String(),
 		Cached:         st.Cached,
+		FromStore:      st.FromStore,
+		WarmStartHour:  st.WarmStartHour,
+		PhysicsReplay:  st.PhysicsReplay,
 		WallSeconds:    st.WallSeconds,
 		VirtualSeconds: st.VirtualSeconds,
 	}
@@ -213,6 +270,13 @@ func (s *server) traceFor(spec scenario.Spec) (*core.Trace, error) {
 	s.traceMu.Unlock()
 
 	e.once.Do(func() {
+		// Stored physics first: the artifact store's per-hour records
+		// cover exactly the machine-independent work trace the model
+		// needs, so a configuration any job has ever run traces for free.
+		if tr := s.storedTrace(traceSpec); tr != nil {
+			e.trace = tr
+			return
+		}
 		cfg, err := traceSpec.Config()
 		if err != nil {
 			e.err = err
@@ -227,6 +291,27 @@ func (s *server) traceFor(spec scenario.Spec) (*core.Trace, error) {
 		e.trace = res.Trace
 	})
 	return e.trace, e.err
+}
+
+// storedTrace stitches the spec's work trace from the artifact store's
+// per-hour physics records, or returns nil when any hour is missing.
+func (s *server) storedTrace(spec scenario.Spec) *core.Trace {
+	if s.store == nil {
+		return nil
+	}
+	n := spec.Normalize()
+	var tr *core.Trace
+	for h := n.StartHour + 1; h <= n.EndHour(); h++ {
+		rec, ok := s.store.GetRecord(n.PhysicsPrefixHash(h))
+		if !ok || len(rec.Trace.Hours) != 1 {
+			return nil
+		}
+		if tr == nil {
+			tr = &core.Trace{Dataset: rec.Trace.Dataset, Shape: rec.Trace.Shape}
+		}
+		tr.Hours = append(tr.Hours, rec.Trace.Hours...)
+	}
+	return tr
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -252,6 +337,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "airshedd_cache_bytes %d\n", c.CacheBytes)
 	fmt.Fprintf(w, "airshedd_queue_depth %d\n", c.QueueDepth)
 	fmt.Fprintf(w, "airshedd_busy_workers %d\n", c.BusyWorkers)
+	fmt.Fprintf(w, "airshedd_store_result_hits_total %d\n", c.StoreHits)
+	fmt.Fprintf(w, "airshedd_warm_starts_total %d\n", c.WarmStarts)
+	fmt.Fprintf(w, "airshedd_physics_replays_total %d\n", c.PhysicsReplays)
+	if s.store != nil {
+		sc := s.store.Counters()
+		fmt.Fprintf(w, "airshedd_store_hits_total %d\n", sc.Hits)
+		fmt.Fprintf(w, "airshedd_store_misses_total %d\n", sc.Misses)
+		fmt.Fprintf(w, "airshedd_store_corrupt_total %d\n", sc.Corrupt)
+		fmt.Fprintf(w, "airshedd_store_evictions_total %d\n", sc.Evictions)
+		fmt.Fprintf(w, "airshedd_store_entries %d\n", sc.Entries)
+		fmt.Fprintf(w, "airshedd_store_bytes %d\n", sc.Bytes)
+	}
 }
 
 // intParam parses an integer query parameter; empty means def.

@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"airshed/internal/sched"
+	"airshed/internal/store"
+	"airshed/internal/sweep"
 )
 
 // testServer spins a scheduler and an httptest server around the daemon
@@ -27,7 +29,7 @@ func testServer(t *testing.T, opts sched.Options) (*httptest.Server, *sched.Sche
 	}
 	opts.GoParallel = true
 	scheduler := sched.New(opts)
-	ts := httptest.NewServer(newServer(scheduler).handler())
+	ts := httptest.NewServer(newServer(scheduler, opts.Store).handler())
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -344,6 +346,177 @@ func TestPredictEndpoint(t *testing.T) {
 	}
 	if _, code := get("dataset=mini&machine=t3e"); code != http.StatusBadRequest {
 		t.Errorf("missing nodes/hours: status %d, want 400", code)
+	}
+}
+
+// storeServer is testServer backed by a persistent artifact store at
+// dir, mirroring `airshedd -store dir`.
+func storeServer(t *testing.T, dir string) (*httptest.Server, *sched.Scheduler) {
+	t.Helper()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return testServer(t, sched.Options{Workers: 2, Store: st})
+}
+
+func getSweep(t *testing.T, ts *httptest.Server, id string) (sweep.Status, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st sweep.Status
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// TestSweepEndpointWarmStarts drives a batch policy study end to end
+// over HTTP: POST the grid, poll to done, and verify every control
+// variant warm-started from the shared baseline prefix the engine
+// seeded — the /metrics counters must agree.
+func TestSweepEndpointWarmStarts(t *testing.T) {
+	ts, _ := storeServer(t, t.TempDir())
+
+	body := `{"name":"controls",
+		"base":{"dataset":"mini","machine":"t3e","nodes":2,"hours":3},
+		"grid":{"nox_scales":[0.7,0.5],"control_start_hours":[2]}}`
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st sweep.Status
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("bad sweep response %q: %v", raw, err)
+	}
+	if st.ID == "" || st.Total != 2 || st.Seeds != 1 {
+		t.Fatalf("sweep accepted as %+v, want 2 jobs / 1 seed", st)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep stuck: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+		var code int
+		if st, code = getSweep(t, ts, st.ID); code != http.StatusOK {
+			t.Fatalf("poll: status %d", code)
+		}
+	}
+	if st.Completed != 2 || st.Failed != 0 || st.WarmStarts != 2 {
+		t.Fatalf("final sweep status: %+v", st)
+	}
+	if len(st.Table) != 2 {
+		t.Fatalf("policy table has %d rows (%s)", len(st.Table), st.TableError)
+	}
+	for _, row := range st.Table {
+		if row.PeakO3 <= 0 || row.WarmStartHour != 2 {
+			t.Errorf("bad policy row: %+v", row)
+		}
+	}
+	if warm := metric(t, ts, "airshedd_warm_starts_total"); warm != 2 {
+		t.Errorf("warm starts metric = %d, want 2", warm)
+	}
+	// Store-level counters only appear when -store is configured; the
+	// seed pass plus two warm starts must have hit the store.
+	if hits := metric(t, ts, "airshedd_store_hits_total"); hits == 0 {
+		t.Error("store hits metric is zero after a warm-started sweep")
+	}
+
+	// The sweep shows up in the listing.
+	listResp, err := http.Get(ts.URL + "/v1/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []sweep.Status
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Errorf("sweep listing = %+v", list)
+	}
+}
+
+func TestSweepValidationAndUnknownID(t *testing.T) {
+	ts, _ := testServer(t, sched.Options{})
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed", `{"base":`},
+		{"unknown field", `{"base":{"dataset":"mini","machine":"t3e","nodes":2,"hours":1},"grud":{}}`},
+		{"bad dataset", `{"base":{"dataset":"mini","machine":"t3e","nodes":2,"hours":1},"grid":{"datasets":["mars"]}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewBufferString(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+	if _, code := getSweep(t, ts, "s9999"); code != http.StatusNotFound {
+		t.Errorf("unknown sweep: status %d, want 404", code)
+	}
+}
+
+// TestDaemonRestartServesFromStore is the durability acceptance test:
+// a second daemon sharing the first one's store directory must answer a
+// previously computed scenario instantly, without re-running it.
+func TestDaemonRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+
+	ts1, sched1 := storeServer(t, dir)
+	sr, code := postRun(t, ts1, miniBody(2))
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+	st := waitDone(t, ts1, sr.ID)
+	if st.State != "done" || st.Summary == nil {
+		t.Fatalf("first run: %+v", st)
+	}
+	// Simulate the daemon dying: drain and forget the first instance.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := sched1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2, _ := storeServer(t, dir)
+	sr2, code := postRun(t, ts2, miniBody(2))
+	if code != http.StatusOK || !sr2.Cached || !sr2.FromStore {
+		t.Fatalf("restart resubmit: status %d, response %+v", code, sr2)
+	}
+	st2 := getStatus(t, ts2, sr2.ID)
+	if st2.State != "done" || st2.Summary == nil {
+		t.Fatalf("restored job not immediately done: %+v", st2)
+	}
+	if st2.Summary.PeakO3 != st.Summary.PeakO3 {
+		t.Errorf("restored answer differs: %g vs %g", st2.Summary.PeakO3, st.Summary.PeakO3)
+	}
+	if !st2.FromStore {
+		t.Error("status does not mark the job as served from the store")
+	}
+	if got := metric(t, ts2, "airshedd_store_result_hits_total"); got != 1 {
+		t.Errorf("store result hits = %d, want 1", got)
+	}
+	if got := metric(t, ts2, "airshedd_jobs_completed_total"); got != 0 {
+		t.Errorf("restarted daemon executed %d jobs, want 0", got)
 	}
 }
 

@@ -6,21 +6,34 @@
 // Usage:
 //
 //	gems study.json
+//	gems -workers 4 study.json         # strategies run concurrently
+//	gems -store /var/lib/airshed study.json
 //	gems -print-example > study.json   # a template to edit
 //
 // A study file selects the data set, machine, node count and simulated
-// hours, lists emission-control strategies (NOx/VOC scalings), and
-// optionally enables the PVM population exposure module and monitoring
-// stations. The command executes every strategy and prints the comparison
-// tables.
+// hours, lists emission-control strategies (NOx/VOC scalings, optional
+// delayed activation hours), and optionally enables the PVM population
+// exposure module and monitoring stations. The command executes every
+// strategy and prints the comparison tables.
+//
+// With -workers > 1 or -store the strategies are routed through the
+// sweep engine (internal/sweep): they execute concurrently on a worker
+// pool, and -store keeps every run's results and hourly checkpoints in
+// a persistent artifact store, so repeated studies resolve instantly
+// and delayed-control strategies warm-start from their shared baseline
+// instead of recomputing it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"airshed/internal/gems"
+	"airshed/internal/sched"
+	"airshed/internal/store"
+	"airshed/internal/sweep"
 )
 
 const exampleStudy = `{
@@ -33,7 +46,8 @@ const exampleStudy = `{
   "strategies": [
     {"name": "baseline", "nox": 1.0, "voc": 1.0},
     {"name": "25% NOx cut", "nox": 0.75, "voc": 1.0},
-    {"name": "25% VOC cut", "nox": 1.0, "voc": 0.75}
+    {"name": "25% VOC cut", "nox": 1.0, "voc": 0.75},
+    {"name": "25% NOx cut from hour 8", "nox": 0.75, "voc": 1.0, "control_start_hour": 8}
   ],
   "popexp": {"enabled": true, "population": 12e6, "workers": 4},
   "stations": {
@@ -52,7 +66,12 @@ func main() {
 }
 
 func run() error {
-	printExample := flag.Bool("print-example", false, "print a template study file and exit")
+	var (
+		printExample = flag.Bool("print-example", false, "print a template study file and exit")
+		workers      = flag.Int("workers", 1, "run strategies concurrently on this many workers (1 = sequential)")
+		storeDir     = flag.String("store", "", "artifact store directory for results and warm-start checkpoints")
+		storeMB      = flag.Int64("store-mb", 2048, "artifact store size cap in MiB (<= 0 unlimited)")
+	)
 	flag.Parse()
 	if *printExample {
 		fmt.Print(exampleStudy)
@@ -60,6 +79,9 @@ func run() error {
 	}
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: gems [flags] study.json (see -print-example)")
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be at least 1")
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -70,7 +92,27 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	out, err := gems.Run(study, os.Stderr)
+
+	// Plain sequential run unless concurrency or persistence is asked
+	// for; then the strategies go through the sweep engine as one batch.
+	var engine *sweep.Engine
+	if *workers > 1 || *storeDir != "" {
+		var artifacts *store.Store
+		if *storeDir != "" {
+			if artifacts, err = store.Open(*storeDir, *storeMB<<20); err != nil {
+				return err
+			}
+		}
+		scheduler := sched.New(sched.Options{
+			Workers:    *workers,
+			GoParallel: true,
+			Store:      artifacts,
+		})
+		defer scheduler.Shutdown(context.Background()) //nolint:errcheck
+		engine = sweep.NewEngine(scheduler)
+	}
+
+	out, err := gems.RunWith(study, os.Stderr, engine)
 	if err != nil {
 		return err
 	}

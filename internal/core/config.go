@@ -27,6 +27,7 @@ import (
 	"airshed/internal/chemistry"
 	"airshed/internal/datasets"
 	"airshed/internal/machine"
+	"airshed/internal/meteo"
 )
 
 // Mode selects the parallelisation strategy.
@@ -74,6 +75,20 @@ type Config struct {
 	// files there (hour_NNN.snap); otherwise output volume is charged
 	// without touching the filesystem.
 	SnapshotDir string
+	// SnapshotFunc, when non-nil, receives every hourly snapshot after
+	// outputhour: the absolute hour and the replicated concentration
+	// array. The slice is reused by the next hour, so implementations
+	// must copy (or serialise) before returning. Errors abort the run.
+	// The scheduler uses this to feed the persistent checkpoint store
+	// without touching the virtual-time accounting.
+	SnapshotFunc func(hour int, conc []float64) error
+	// ControlProvider, when non-nil, replaces Dataset.Provider for hours
+	// >= ControlStartHour: the mechanism behind delayed emission
+	// controls (scenario.Spec.ControlStartHour). Hours before it use the
+	// base provider, so every control variant shares the baseline
+	// physics prefix exactly.
+	ControlProvider  *meteo.Synthetic
+	ControlStartHour int
 	// StartHour is the first simulated hour (0 = midnight of day one).
 	// Hours counts from here, so a run with StartHour 8, Hours 4 covers
 	// hours 8-11. Combined with InitialConc this restarts a simulation
@@ -108,6 +123,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: MaxStepsPerHour must be non-negative")
 	case c.StartHour < 0:
 		return fmt.Errorf("core: StartHour must be non-negative, got %d", c.StartHour)
+	case c.ControlStartHour < 0:
+		return fmt.Errorf("core: ControlStartHour must be non-negative, got %d", c.ControlStartHour)
 	}
 	if c.InitialConc != nil && len(c.InitialConc) != c.Dataset.Shape.Len() {
 		return fmt.Errorf("core: InitialConc has %d values, want %d", len(c.InitialConc), c.Dataset.Shape.Len())

@@ -13,6 +13,12 @@ type ReplayResult struct {
 	Ledger       vm.Ledger
 	CommSeconds  map[string]float64
 	RedistCounts map[string]int
+	// NodeUtilization and Efficiency mirror Result's fields: each node's
+	// busy fraction under the replayed schedule and their average. For
+	// data-parallel replays they equal what a live run reports, which is
+	// how the scheduler materialises full results from stored traces.
+	NodeUtilization []float64
+	Efficiency      float64
 	// StageBound reports, for task-parallel replays, the per-stage busy
 	// times (input, compute, output) that bound the pipeline.
 	StageBound map[string]float64
@@ -197,6 +203,7 @@ func replayData(tr *Trace, prof *machine.Profile, p int) (*ReplayResult, error) 
 		m.Barrier()
 	}
 	res.Ledger = m.Ledger()
+	res.NodeUtilization, res.Efficiency = m.Utilization()
 	return res, nil
 }
 
@@ -313,5 +320,6 @@ func replayTask(tr *Trace, prof *machine.Profile, p int) (*ReplayResult, error) 
 	res.StageBound["compute"] = m.GroupElapsed(compute)
 	res.StageBound["output"] = m.Clock(outputNode)
 	res.Ledger = m.Ledger()
+	res.NodeUtilization, res.Efficiency = m.Utilization()
 	return res, nil
 }

@@ -46,8 +46,12 @@ type Result struct {
 	PeakO3     float64
 	PeakO3Cell int
 	// HourlyPeakO3 records the ground-layer ozone maximum at the end of
-	// every simulated hour (index 0 = first hour of the run).
-	HourlyPeakO3 []float64
+	// every simulated hour (index 0 = first hour of the run), and
+	// HourlyPeakCell the cell where each hour's maximum occurred (the
+	// store's physics records keep both so warm-started runs reconstruct
+	// PeakO3/PeakO3Cell exactly).
+	HourlyPeakO3   []float64
+	HourlyPeakCell []int
 	// NodeUtilization is each virtual node's busy fraction of the total
 	// time; Efficiency is their average (the run's parallel efficiency).
 	NodeUtilization []float64
@@ -188,7 +192,11 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: run abandoned before hour %d: %w", hour, err)
 		}
-		in, err := prov.HourInput(hour)
+		hourProv := prov
+		if s.cfg.ControlProvider != nil && hour >= s.cfg.ControlStartHour {
+			hourProv = s.cfg.ControlProvider
+		}
+		in, err := hourProv.HourInput(hour)
 		if err != nil {
 			return nil, err
 		}
@@ -296,11 +304,12 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		s.trace.Hours = append(s.trace.Hours, ht)
 
 		// Diagnostics: ground-layer ozone peak, overall and per hour.
-		hourPeak := 0.0
+		hourPeak, hourPeakCell := 0.0, 0
 		for c := 0; c < sh.Cells; c++ {
 			v := repl[s.iO3+sh.Species*(0+sh.Layers*c)]
 			if v > hourPeak {
 				hourPeak = v
+				hourPeakCell = c
 			}
 			if v > s.result.PeakO3 {
 				s.result.PeakO3 = v
@@ -308,6 +317,12 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 			}
 		}
 		s.result.HourlyPeakO3 = append(s.result.HourlyPeakO3, hourPeak)
+		s.result.HourlyPeakCell = append(s.result.HourlyPeakCell, hourPeakCell)
+		if s.cfg.SnapshotFunc != nil {
+			if err := s.cfg.SnapshotFunc(hour, repl); err != nil {
+				return nil, fmt.Errorf("core: snapshot sink at hour %d: %w", hour, err)
+			}
+		}
 		_ = mech
 	}
 
@@ -512,6 +527,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 // bit-identical to having run straight through (asserted by
 // TestRestartBitIdentical).
 func Restart(snapshotPath string, cfg Config) (*Result, error) {
+	return RestartContext(context.Background(), snapshotPath, cfg)
+}
+
+// RestartContext is the context-aware restart: the warm-start path of the
+// scheduler, which resumes from store checkpoints and must still honour
+// per-job cancellation.
+func RestartContext(ctx context.Context, snapshotPath string, cfg Config) (*Result, error) {
 	if cfg.Dataset == nil {
 		return nil, fmt.Errorf("core: Restart needs Config.Dataset")
 	}
@@ -531,5 +553,5 @@ func Restart(snapshotPath string, cfg Config) (*Result, error) {
 	}
 	cfg.StartHour = hour + 1
 	cfg.InitialConc = conc
-	return Run(cfg)
+	return RunContext(ctx, cfg)
 }

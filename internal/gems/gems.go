@@ -13,6 +13,7 @@
 package gems
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,10 +23,10 @@ import (
 	"airshed/internal/core"
 	"airshed/internal/datasets"
 	frn "airshed/internal/foreign"
-	"airshed/internal/machine"
-	"airshed/internal/meteo"
 	"airshed/internal/popexp"
 	"airshed/internal/report"
+	"airshed/internal/scenario"
+	"airshed/internal/sweep"
 )
 
 // Strategy is one emission-control scenario.
@@ -35,6 +36,12 @@ type Strategy struct {
 	// NOx and VOC scale the respective emission shares (1.0 = base).
 	NOx float64 `json:"nox"`
 	VOC float64 `json:"voc"`
+	// ControlStartHour delays the controls to an absolute hour; before
+	// it the base inventory applies. Zero means active all run. All
+	// delayed variants of one study share the baseline physics up to
+	// their start hour, which a store-backed sweep engine turns into
+	// warm starts.
+	ControlStartHour int `json:"control_start_hour,omitempty"`
 }
 
 // PopExpSpec enables the population exposure stage.
@@ -109,6 +116,9 @@ func (s *Study) Validate() error {
 		if st.NOx < 0 || st.VOC < 0 {
 			return fmt.Errorf("gems: strategy %q has negative scales", st.Name)
 		}
+		if st.ControlStartHour < 0 {
+			return fmt.Errorf("gems: strategy %q has a negative control start hour", st.Name)
+		}
 	}
 	if s.PopExp.Enabled {
 		if s.PopExp.Population <= 0 {
@@ -139,14 +149,39 @@ type Outcome struct {
 	Strategies []StrategyOutcome
 }
 
-// Run executes the study, writing a progress line per strategy to progress
-// (may be nil).
-func Run(s *Study, progress io.Writer) (*Outcome, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
+// Spec translates one strategy of the study into the canonical scenario
+// description both execution paths run.
+func (s *Study) Spec(st Strategy) scenario.Spec {
+	sp := scenario.Spec{
+		Dataset:          s.Dataset,
+		Machine:          s.Machine,
+		Nodes:            s.Nodes,
+		Hours:            s.Hours,
+		NOxScale:         st.NOx,
+		VOCScale:         st.VOC,
+		ControlStartHour: st.ControlStartHour,
 	}
-	prof, err := machine.ByName(s.Machine)
-	if err != nil {
+	if s.TaskParallel {
+		sp.Mode = scenario.ModeTask
+	}
+	return sp
+}
+
+// Run executes the study one strategy at a time, writing a progress
+// line per strategy to progress (may be nil).
+func Run(s *Study, progress io.Writer) (*Outcome, error) {
+	return RunWith(s, progress, nil)
+}
+
+// RunWith executes the study like Run but, given a sweep engine, routes
+// the strategies through it as one batch: they run concurrently on the
+// engine's worker pool, and with a store-backed scheduler strategies
+// sharing physics (delayed controls over one baseline, repeated
+// studies) warm-start from stored checkpoints instead of recomputing.
+// A nil engine runs the strategies sequentially in-process; the results
+// are identical either way.
+func RunWith(s *Study, progress io.Writer, engine *sweep.Engine) (*Outcome, error) {
+	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	strategies := s.Strategies
@@ -157,52 +192,58 @@ func Run(s *Study, progress io.Writer) (*Outcome, error) {
 	if threshold == 0 {
 		threshold = analysis.OzoneNAAQS1Hour
 	}
-	mode := core.DataParallel
-	if s.TaskParallel {
-		mode = core.TaskParallel
+	specs := make([]scenario.Spec, len(strategies))
+	for i, st := range strategies {
+		specs[i] = s.Spec(st)
+		if err := specs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("gems: strategy %q: %w", st.Name, err)
+		}
+	}
+
+	var results []*core.Result
+	var notes []string
+	var err error
+	if engine != nil {
+		results, notes, err = runSweep(s.Name, specs, engine)
+	} else {
+		results, err = runSequential(strategies, specs)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Analysis stage. Grid, mechanism and shape do not vary with the
+	// emission scales, so the base dataset serves every strategy.
+	ds, err := datasets.ByName(s.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	an, err := analysis.New(ds.Grid(), ds.Mechanism())
+	if err != nil {
+		return nil, err
+	}
+	var stations []analysis.Station
+	if len(s.Stations) > 0 {
+		if stations, err = an.NewStations(s.Stations); err != nil {
+			return nil, err
+		}
+	}
+	var pop *popexp.Population
+	var model *popexp.Model
+	if s.PopExp.Enabled {
+		scn := ds.Provider.Scenario()
+		if pop, err = popexp.SyntheticPopulation(ds.Grid(), scn.UrbanX, scn.UrbanY,
+			scn.UrbanRadius, s.PopExp.Population); err != nil {
+			return nil, err
+		}
+		if model, err = popexp.NewModel(ds.Mechanism()); err != nil {
+			return nil, err
+		}
 	}
 
 	out := &Outcome{Study: s}
-	var an *analysis.Analyzer
-	var pop *popexp.Population
-	var model *popexp.Model
-	var stations []analysis.Station
-	for _, st := range strategies {
-		ds, err := buildDataset(s.Dataset, st)
-		if err != nil {
-			return nil, err
-		}
-		if an == nil {
-			if an, err = analysis.New(ds.Grid(), ds.Mechanism()); err != nil {
-				return nil, err
-			}
-			if len(s.Stations) > 0 {
-				if stations, err = an.NewStations(s.Stations); err != nil {
-					return nil, err
-				}
-			}
-			if s.PopExp.Enabled {
-				scn := ds.Provider.Scenario()
-				if pop, err = popexp.SyntheticPopulation(ds.Grid(), scn.UrbanX, scn.UrbanY,
-					scn.UrbanRadius, s.PopExp.Population); err != nil {
-					return nil, err
-				}
-				if model, err = popexp.NewModel(ds.Mechanism()); err != nil {
-					return nil, err
-				}
-			}
-		}
-		res, err := core.Run(core.Config{
-			Dataset:    ds,
-			Machine:    prof,
-			Nodes:      s.Nodes,
-			Hours:      s.Hours,
-			Mode:       mode,
-			GoParallel: true,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("gems: strategy %q: %w", st.Name, err)
-		}
+	for i, st := range strategies {
+		res := results[i]
 		so := StrategyOutcome{Strategy: st, Result: res}
 		if so.Exceedance, err = an.Exceedance(res.Final, ds.Shape.Layers, "O3", threshold, pop); err != nil {
 			return nil, err
@@ -228,34 +269,80 @@ func Run(s *Study, progress io.Writer) (*Outcome, error) {
 		}
 		out.Strategies = append(out.Strategies, so)
 		if progress != nil {
-			fmt.Fprintf(progress, "gems: %-24s peak O3 %.4f ppm, %.0f virtual s\n",
-				st.Name, res.PeakO3, res.Ledger.Total)
+			note := ""
+			if notes != nil && notes[i] != "" {
+				note = " (" + notes[i] + ")"
+			}
+			fmt.Fprintf(progress, "gems: %-24s peak O3 %.4f ppm, %.0f virtual s%s\n",
+				st.Name, res.PeakO3, res.Ledger.Total, note)
 		}
 	}
 	return out, nil
 }
 
-// buildDataset resolves the study's dataset with a strategy's scales.
-func buildDataset(name string, st Strategy) (*datasets.Dataset, error) {
-	if (name == "la" || name == "LA") && (st.NOx != 1 || st.VOC != 1) {
-		return datasets.LAControls(st.NOx, st.VOC)
-	}
-	ds, err := datasets.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	if st.NOx != 1 || st.VOC != 1 {
-		// Rebuild the provider with scaled emissions for any dataset.
-		scn := ds.Provider.Scenario()
-		scn.NOxScale *= st.NOx
-		scn.VOCScale *= st.VOC
-		prov, err := meteo.NewSynthetic(scn, ds.Grid(), ds.Mechanism(), ds.Geometry())
+// runSequential executes the strategies one after another in-process.
+func runSequential(strategies []Strategy, specs []scenario.Spec) ([]*core.Result, error) {
+	results := make([]*core.Result, len(specs))
+	for i, sp := range specs {
+		cfg, err := sp.Config()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("gems: strategy %q: %w", strategies[i].Name, err)
 		}
-		ds.Provider = prov
+		cfg.GoParallel = true
+		if results[i], err = core.Run(cfg); err != nil {
+			return nil, fmt.Errorf("gems: strategy %q: %w", strategies[i].Name, err)
+		}
 	}
-	return ds, nil
+	return results, nil
+}
+
+// runSweep submits the strategies as one batch sweep and maps the
+// finished jobs back to strategy order by spec hash (two strategies
+// describing the same scenario share one job). The notes report each
+// job's warm-start provenance for the progress log.
+func runSweep(name string, specs []scenario.Spec, engine *sweep.Engine) ([]*core.Result, []string, error) {
+	st0, err := engine.Start(sweep.Request{Name: name, Specs: specs})
+	if err != nil {
+		return nil, nil, err
+	}
+	final, err := engine.Await(context.Background(), st0.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	byHash := make(map[string]sweep.JobView, len(final.Jobs))
+	for _, jv := range final.Jobs {
+		byHash[jv.Spec.Hash()] = jv
+	}
+	results := make([]*core.Result, len(specs))
+	notes := make([]string, len(specs))
+	for i, sp := range specs {
+		jv, ok := byHash[sp.Hash()]
+		if !ok {
+			return nil, nil, fmt.Errorf("gems: sweep dropped scenario %s", sp)
+		}
+		if jv.Error != "" {
+			return nil, nil, fmt.Errorf("gems: scenario %s: %s", sp, jv.Error)
+		}
+		js, err := engine.Scheduler().Status(jv.JobID)
+		if err != nil {
+			return nil, nil, err
+		}
+		if js.Result == nil {
+			return nil, nil, fmt.Errorf("gems: scenario %s ended %q without a result", sp, jv.State)
+		}
+		results[i] = js.Result
+		switch {
+		case jv.PhysicsReplay:
+			notes[i] = "physics replayed from store"
+		case jv.WarmStartHour > 0:
+			notes[i] = fmt.Sprintf("warm-started at hour %d", jv.WarmStartHour)
+		case jv.FromStore:
+			notes[i] = "served from store"
+		case jv.Cached:
+			notes[i] = "cache hit"
+		}
+	}
+	return results, notes, nil
 }
 
 // Report renders the outcome as tables.

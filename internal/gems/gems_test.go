@@ -2,8 +2,13 @@ package gems
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+
+	"airshed/internal/sched"
+	"airshed/internal/store"
+	"airshed/internal/sweep"
 )
 
 func validStudyJSON() string {
@@ -59,6 +64,7 @@ func TestStudyValidate(t *testing.T) {
 		func(s *Study) { s.OzoneThreshold = -1 },
 		func(s *Study) { s.Strategies[0].Name = "" },
 		func(s *Study) { s.Strategies[0].NOx = -1 },
+		func(s *Study) { s.Strategies[0].ControlStartHour = -1 },
 		func(s *Study) { s.PopExp.Population = 0 },
 		func(s *Study) { s.PopExp.Workers = 0 },
 	}
@@ -126,6 +132,86 @@ func TestRunDefaultsBaselineOnly(t *testing.T) {
 	// No popexp: zero risk; no stations: nil samples.
 	if out.Strategies[0].Risk != 0 || out.Strategies[0].StationO3 != nil {
 		t.Error("unexpected optional outputs")
+	}
+}
+
+// studyEngine builds a store-backed single-worker sweep engine; one
+// worker makes the job order deterministic, so the baseline's
+// checkpoints are on disk before the delayed-control variant runs.
+func studyEngine(t *testing.T) *sweep.Engine {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.New(sched.Options{Workers: 1, GoParallel: true, Store: st})
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	return sweep.NewEngine(s)
+}
+
+// TestRunWithEngineMatchesSequential runs the same study both ways: the
+// sweep-engine path must reproduce the sequential answers exactly, and
+// the delayed-control strategy must warm-start from the baseline's
+// stored checkpoint (visible in the progress log).
+func TestRunWithEngineMatchesSequential(t *testing.T) {
+	study := &Study{
+		Name: "engine vs sequential", Dataset: "mini", Machine: "t3e",
+		Nodes: 2, Hours: 2,
+		Strategies: []Strategy{
+			{Name: "baseline", NOx: 1, VOC: 1},
+			{Name: "late NOx cut", NOx: 0.7, VOC: 1, ControlStartHour: 1},
+		},
+		Stations: map[string][2]float64{"core": {20000, 20000}},
+	}
+	seq, err := Run(study, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var progress bytes.Buffer
+	eng, err := RunWith(study, &progress, studyEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Strategies) != len(seq.Strategies) {
+		t.Fatalf("engine path produced %d outcomes, want %d", len(eng.Strategies), len(seq.Strategies))
+	}
+	for i, so := range eng.Strategies {
+		want := seq.Strategies[i]
+		if so.Result.PeakO3 != want.Result.PeakO3 {
+			t.Errorf("%s: peak %g via engine, %g sequential", so.Strategy.Name, so.Result.PeakO3, want.Result.PeakO3)
+		}
+		if so.Exceedance.AreaKm2 != want.Exceedance.AreaKm2 {
+			t.Errorf("%s: exceedance differs", so.Strategy.Name)
+		}
+		if so.StationO3["core"] != want.StationO3["core"] {
+			t.Errorf("%s: station sample differs", so.Strategy.Name)
+		}
+	}
+	if !strings.Contains(progress.String(), "warm-started at hour 1") {
+		t.Errorf("delayed control did not warm-start:\n%s", progress.String())
+	}
+}
+
+// Duplicate strategies collapse to one sweep job but both outcomes are
+// reported.
+func TestRunWithEngineDuplicateStrategies(t *testing.T) {
+	study := &Study{
+		Name: "dups", Dataset: "mini", Machine: "t3e", Nodes: 2, Hours: 1,
+		Strategies: []Strategy{
+			{Name: "a", NOx: 1, VOC: 1},
+			{Name: "b (same physics)", NOx: 1, VOC: 1},
+		},
+	}
+	out, err := RunWith(study, nil, studyEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Strategies) != 2 {
+		t.Fatalf("%d outcomes, want 2", len(out.Strategies))
+	}
+	if out.Strategies[0].Result.PeakO3 != out.Strategies[1].Result.PeakO3 {
+		t.Error("identical strategies disagree")
 	}
 }
 

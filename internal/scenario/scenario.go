@@ -57,6 +57,13 @@ type Spec struct {
 	// names as Airshed's purpose. Zero means 1.0 (base inventory).
 	NOxScale float64 `json:"nox_scale,omitempty"`
 	VOCScale float64 `json:"voc_scale,omitempty"`
+	// ControlStartHour is the absolute hour at which the emission
+	// controls activate (a curtailment starting mid-run); before it the
+	// base inventory applies. Zero means the controls are active for the
+	// whole run. All control variants of a baseline then share the
+	// physics of hours [StartHour, ControlStartHour) exactly, which is
+	// what the sweep engine's warm starts exploit.
+	ControlStartHour int `json:"control_start_hour,omitempty"`
 	// ChemRelTol overrides the Young-Boris relative tolerance; zero means
 	// chemistry.DefaultConfig().RelTol.
 	ChemRelTol float64 `json:"chem_rel_tol,omitempty"`
@@ -81,6 +88,12 @@ func (s Spec) Normalize() Spec {
 	}
 	if s.VOCScale == 0 {
 		s.VOCScale = 1.0
+	}
+	// ControlStartHour only means something when there are controls to
+	// delay and the delay reaches into the run; otherwise it collapses to
+	// zero so no-op variants share one hash.
+	if (s.NOxScale == 1.0 && s.VOCScale == 1.0) || s.ControlStartHour <= s.StartHour {
+		s.ControlStartHour = 0
 	}
 	return s
 }
@@ -109,6 +122,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: task mode needs at least 3 nodes, got %d", n.Nodes)
 	case n.NOxScale <= 0 || n.VOCScale <= 0:
 		return fmt.Errorf("scenario: emission scales must be positive, got nox=%g voc=%g", n.NOxScale, n.VOCScale)
+	case s.ControlStartHour < 0:
+		return fmt.Errorf("scenario: control_start_hour must be non-negative, got %d", s.ControlStartHour)
 	case n.ChemRelTol < 0:
 		return fmt.Errorf("scenario: chem_rel_tol must be non-negative, got %g", n.ChemRelTol)
 	case n.MaxStepsPerHour < 0:
@@ -140,7 +155,59 @@ func (s Spec) Hash() string {
 	fmt.Fprintf(h, "voc_scale=%g\n", n.VOCScale)
 	fmt.Fprintf(h, "chem_rel_tol=%g\n", n.ChemRelTol)
 	fmt.Fprintf(h, "max_steps_per_hour=%d\n", n.MaxStepsPerHour)
+	fmt.Fprintf(h, "control_start_hour=%d\n", n.ControlStartHour)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EndHour is the first hour past the run: StartHour + Hours.
+func (s Spec) EndHour() int {
+	n := s.Normalize()
+	return n.StartHour + n.Hours
+}
+
+// PhysicsPrefixHash identifies the physical state of the run truncated at
+// absolute hour k (exclusive): the hash of every field that changes the
+// concentrations over hours [StartHour, k), and nothing else. Machine,
+// node count and execution mode are deliberately excluded — the numerics
+// are bit-identical across them (the work trace is machine-independent),
+// so runs differing only in those fields share every prefix. Emission
+// controls contribute only when they are active inside the prefix: a
+// variant whose ControlStartHour >= k hashes identically to the baseline,
+// which is exactly the checkpoint-sharing contract the sweep engine's
+// warm starts rely on. k must lie in (StartHour, EndHour].
+func (s Spec) PhysicsPrefixHash(k int) string {
+	n := s.Normalize()
+	nox, voc, cs := n.NOxScale, n.VOCScale, n.ControlStartHour
+	if cs >= k {
+		// The controls have not activated anywhere in [StartHour, k):
+		// the prefix is pure baseline physics.
+		nox, voc, cs = 1.0, 1.0, 0
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "physics-prefix\n")
+	fmt.Fprintf(h, "dataset=%s\n", n.Dataset)
+	fmt.Fprintf(h, "start_hour=%d\n", n.StartHour)
+	fmt.Fprintf(h, "end_hour=%d\n", k)
+	fmt.Fprintf(h, "nox_scale=%g\n", nox)
+	fmt.Fprintf(h, "voc_scale=%g\n", voc)
+	fmt.Fprintf(h, "control_start_hour=%d\n", cs)
+	fmt.Fprintf(h, "chem_rel_tol=%g\n", n.ChemRelTol)
+	fmt.Fprintf(h, "max_steps_per_hour=%d\n", n.MaxStepsPerHour)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PrefixSpec is the runnable scenario whose complete run produces exactly
+// the physics prefix [StartHour, k) of s: hours truncated, controls
+// canonicalised away when they only activate at or after k. The sweep
+// engine schedules it once as the seed of a warm-start family. Machine,
+// nodes and mode are inherited (they do not affect the physics).
+func (s Spec) PrefixSpec(k int) Spec {
+	n := s.Normalize()
+	n.Hours = k - n.StartHour
+	if n.ControlStartHour >= k {
+		n.NOxScale, n.VOCScale, n.ControlStartHour = 1.0, 1.0, 0
+	}
+	return n.Normalize()
 }
 
 // CoreMode converts the spec's mode string to the core enum. The spec
@@ -166,6 +233,7 @@ func (s Spec) Config() (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	var controlProv *meteo.Synthetic
 	if n.NOxScale != 1.0 || n.VOCScale != 1.0 {
 		scn := ds.Provider.Scenario()
 		scn.NOxScale *= n.NOxScale
@@ -175,20 +243,28 @@ func (s Spec) Config() (core.Config, error) {
 		if err != nil {
 			return core.Config{}, err
 		}
-		ds.Provider = prov
+		if n.ControlStartHour > 0 {
+			// Delayed controls: the base inventory drives hours before
+			// ControlStartHour, the scaled one from it on.
+			controlProv = prov
+		} else {
+			ds.Provider = prov
+		}
 	}
 	prof, err := machine.ByName(n.Machine)
 	if err != nil {
 		return core.Config{}, err
 	}
 	cfg := core.Config{
-		Dataset:         ds,
-		Machine:         prof,
-		Nodes:           n.Nodes,
-		Hours:           n.Hours,
-		StartHour:       n.StartHour,
-		Mode:            s.CoreMode(),
-		MaxStepsPerHour: n.MaxStepsPerHour,
+		Dataset:          ds,
+		Machine:          prof,
+		Nodes:            n.Nodes,
+		Hours:            n.Hours,
+		StartHour:        n.StartHour,
+		Mode:             s.CoreMode(),
+		MaxStepsPerHour:  n.MaxStepsPerHour,
+		ControlStartHour: n.ControlStartHour,
+		ControlProvider:  controlProv,
 	}
 	if n.ChemRelTol > 0 {
 		cc := chemistry.DefaultConfig()
@@ -207,6 +283,9 @@ func (s Spec) String() string {
 	}
 	if n.NOxScale != 1 || n.VOCScale != 1 {
 		out += fmt.Sprintf(" nox=%g voc=%g", n.NOxScale, n.VOCScale)
+		if n.ControlStartHour > 0 {
+			out += fmt.Sprintf(" from_hour=%d", n.ControlStartHour)
+		}
 	}
 	return out
 }

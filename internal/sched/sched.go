@@ -15,8 +15,18 @@
 //   - coalesced: an identical scenario is queued or running; the caller
 //     is attached to that job (same job ID) instead of enqueueing a
 //     duplicate — the single-flight guarantee;
+//   - store hit: the scenario completed in a previous process and its
+//     result survives in the persistent artifact store (Options.Store);
+//     it is verified, promoted into the LRU cache and returned as a
+//     finished job — daemon restarts do not forget completed scenarios;
 //   - cache miss: the scenario is enqueued, or rejected with
 //     ErrQueueFull when the bounded queue is at depth.
+//
+// A store additionally warm-starts the runs themselves: executed jobs
+// persist hourly checkpoints and per-hour physics records keyed by the
+// scenario physics-prefix hash, and new jobs resume from the longest
+// stored prefix via core.RestartContext — or skip simulation entirely
+// when the whole run's physics is on record (see warm.go).
 //
 // Every job carries a context cancelled by Cancel, by the per-job
 // timeout, or by scheduler shutdown-with-deadline; the core driver
@@ -34,6 +44,7 @@ import (
 
 	"airshed/internal/core"
 	"airshed/internal/scenario"
+	"airshed/internal/store"
 )
 
 // Sentinel errors returned by Submit and friends.
@@ -106,6 +117,11 @@ type Options struct {
 	// GoParallel enables host goroutine parallelism inside each run (it
 	// does not affect results, only wall time).
 	GoParallel bool
+	// Store, when non-nil, backs the scheduler with a persistent
+	// artifact store: completed results survive process restarts, and
+	// runs warm-start from stored checkpoints of matching physics
+	// prefixes. Nil disables persistence (in-memory LRU only).
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -131,9 +147,12 @@ func (o Options) withDefaults() Options {
 }
 
 // Counters is a point-in-time snapshot of the scheduler's metrics.
-// Submitted = CacheHits + Coalesced + CacheMisses + Rejected: every
-// submission resolves to exactly one of those outcomes, and every
-// cache-missed job eventually lands in Completed, Failed or Cancelled.
+// Submitted = CacheHits + StoreHits + Coalesced + CacheMisses +
+// Rejected: every submission resolves to exactly one of those outcomes,
+// and every cache-missed job eventually lands in Completed, Failed or
+// Cancelled. Of the completed executions, WarmStarts resumed from a
+// stored checkpoint mid-run and PhysicsReplays skipped simulation
+// entirely (full physics on record); the rest ran cold.
 type Counters struct {
 	Submitted   uint64
 	Completed   uint64
@@ -144,6 +163,11 @@ type Counters struct {
 	CacheHits   uint64
 	CacheMisses uint64
 	Evictions   uint64
+
+	// Persistent-store outcomes (all zero without Options.Store).
+	StoreHits      uint64
+	WarmStarts     uint64
+	PhysicsReplays uint64
 
 	// Gauges.
 	QueueDepth   int
@@ -159,10 +183,13 @@ type job struct {
 	hash string
 	spec scenario.Spec
 
-	state  State
-	cached bool
-	err    error
-	result *core.Result
+	state     State
+	cached    bool
+	fromStore bool
+	warmHour  int
+	wholesale bool
+	err       error
+	result    *core.Result
 
 	submitted time.Time
 	started   time.Time
@@ -183,6 +210,15 @@ type JobStatus struct {
 	Cached bool
 	Err    error
 	Result *core.Result
+
+	// FromStore marks a submission served from the persistent store
+	// rather than the in-memory cache. WarmStartHour is the absolute
+	// hour an executed run resumed from a stored checkpoint (0 = cold
+	// start); PhysicsReplay marks a run materialised from stored
+	// physics without simulating.
+	FromStore     bool
+	WarmStartHour int
+	PhysicsReplay bool
 
 	SubmittedAt time.Time
 	StartedAt   time.Time
@@ -269,6 +305,45 @@ func (s *Scheduler) Submit(spec scenario.Spec) (JobStatus, error) {
 		s.counters.Coalesced++
 		return twin.statusLocked(), nil
 	}
+
+	// Persistent store: the read does disk I/O and CRC verification, so
+	// release the lock and re-resolve afterwards — the world may have
+	// moved (shutdown begun, a twin enqueued, the cache filled).
+	if s.opts.Store != nil {
+		s.mu.Unlock()
+		stored, found := s.opts.Store.GetResult(hash)
+		s.mu.Lock()
+		if s.closed {
+			s.counters.Submitted-- // the submission never happened
+			return JobStatus{}, ErrShuttingDown
+		}
+		if res, ok := s.cache.get(hash); ok {
+			s.counters.CacheHits++
+			j := s.newJobLocked(spec, hash)
+			j.state = Done
+			j.cached = true
+			j.result = res
+			j.finished = j.submitted
+			close(j.done)
+			return j.statusLocked(), nil
+		}
+		if twin, ok := s.inflight[hash]; ok {
+			s.counters.Coalesced++
+			return twin.statusLocked(), nil
+		}
+		if found {
+			s.counters.StoreHits++
+			s.cache.put(hash, stored)
+			j := s.newJobLocked(spec, hash)
+			j.state = Done
+			j.cached = true
+			j.fromStore = true
+			j.result = stored
+			j.finished = j.submitted
+			close(j.done)
+			return j.statusLocked(), nil
+		}
+	}
 	s.counters.CacheMisses++
 
 	j := s.newJobLocked(spec, hash)
@@ -352,6 +427,10 @@ func (s *Scheduler) Cancel(id string) error {
 	}
 }
 
+// Persistent reports whether the scheduler is backed by an artifact
+// store (results survive restarts, runs warm-start).
+func (s *Scheduler) Persistent() bool { return s.opts.Store != nil }
+
 // Counters snapshots the metrics.
 func (s *Scheduler) Counters() Counters {
 	s.mu.Lock()
@@ -423,13 +502,25 @@ func (s *Scheduler) runJob(j *job) {
 	s.mu.Unlock()
 	defer cancel()
 
-	res, err := s.execute(ctx, j.spec)
+	res, warmHour, wholesale, err := s.executeJob(ctx, j.spec)
+	if err == nil && s.opts.Store != nil {
+		// Persist outside the scheduler lock; failures only cost future
+		// restarts their head start.
+		_ = s.opts.Store.PutResult(j.hash, res)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.counters.BusyWorkers--
 	switch {
 	case err == nil:
+		j.warmHour = warmHour
+		j.wholesale = wholesale
+		if wholesale {
+			s.counters.PhysicsReplays++
+		} else if warmHour > 0 {
+			s.counters.WarmStarts++
+		}
 		s.cache.put(j.hash, res)
 		s.finalizeLocked(j, Done, res, nil)
 	case errors.Is(err, context.Canceled):
@@ -437,16 +528,6 @@ func (s *Scheduler) runJob(j *job) {
 	default:
 		s.finalizeLocked(j, Failed, nil, err)
 	}
-}
-
-// execute builds the core config and runs the simulation.
-func (s *Scheduler) execute(ctx context.Context, spec scenario.Spec) (*core.Result, error) {
-	cfg, err := spec.Config()
-	if err != nil {
-		return nil, err
-	}
-	cfg.GoParallel = s.opts.GoParallel
-	return core.RunContext(ctx, cfg)
 }
 
 // finalizeLocked moves a job to a terminal state; s.mu held.
@@ -473,15 +554,18 @@ func (s *Scheduler) finalizeLocked(j *job, st State, res *core.Result, err error
 // statusLocked snapshots the job; scheduler mutex held.
 func (j *job) statusLocked() JobStatus {
 	st := JobStatus{
-		ID:          j.id,
-		Hash:        j.hash,
-		Spec:        j.spec,
-		State:       j.state,
-		Cached:      j.cached,
-		Err:         j.err,
-		SubmittedAt: j.submitted,
-		StartedAt:   j.started,
-		FinishedAt:  j.finished,
+		ID:            j.id,
+		Hash:          j.hash,
+		Spec:          j.spec,
+		State:         j.state,
+		Cached:        j.cached,
+		FromStore:     j.fromStore,
+		WarmStartHour: j.warmHour,
+		PhysicsReplay: j.wholesale,
+		Err:           j.err,
+		SubmittedAt:   j.submitted,
+		StartedAt:     j.started,
+		FinishedAt:    j.finished,
 	}
 	if j.state.Terminal() {
 		st.Result = j.result

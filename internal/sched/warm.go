@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"airshed/internal/core"
+	"airshed/internal/hourio"
+	"airshed/internal/scenario"
+	"airshed/internal/store"
+)
+
+// The warm-start path: when the scheduler has a persistent artifact
+// store, every executed job feeds it (hourly checkpoints keyed by the
+// physics-prefix hash, one physics record per simulated hour, the full
+// result under the scenario hash) and every new job consults it for the
+// longest stored physics prefix before simulating.
+//
+// Store layout contract (shared with scenario.Spec.PhysicsPrefixHash):
+//
+//   - checkpoint P(k): end-of-hour-(k-1) concentrations of the physics
+//     prefix [StartHour, k), in the hourio snapshot format — directly
+//     consumable by core.RestartContext;
+//   - record P(k): the work trace and ozone diagnostics of hour k-1
+//     alone (a one-hour store.PhysicsRecord). Stitching the records
+//     P(StartHour+1 .. k) reconstructs the prefix trace without storing
+//     any hour twice across overlapping prefixes.
+//
+// Every store interaction is best-effort: a missing, corrupt or evicted
+// artifact degrades to a shorter prefix and ultimately to a cold run,
+// and store write failures never fail the job.
+
+// executeJob runs one job: a plain cold run without a store, otherwise
+// the warm-start path. warmHour is the absolute hour execution resumed
+// from a stored checkpoint (0 = cold); wholesale reports the physics
+// came entirely from stored records, with no simulation at all.
+func (s *Scheduler) executeJob(ctx context.Context, spec scenario.Spec) (res *core.Result, warmHour int, wholesale bool, err error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	cfg.GoParallel = s.opts.GoParallel
+	if s.opts.Store == nil {
+		res, err = core.RunContext(ctx, cfg)
+		return res, 0, false, err
+	}
+	return s.executeStored(ctx, spec.Normalize(), cfg)
+}
+
+// executeStored is the store-backed execution: wire the checkpoint sink,
+// find the longest warm-startable physics prefix, and fall back to a
+// cold run when nothing (usable) is stored.
+func (s *Scheduler) executeStored(ctx context.Context, n scenario.Spec, cfg core.Config) (*core.Result, int, bool, error) {
+	st := s.opts.Store
+	start, end := n.StartHour, n.EndHour()
+	sh := cfg.Dataset.Shape
+
+	// Hourly checkpoint sink. Keys use the submitted spec's prefix hash
+	// at absolute hours, so a warm-started suffix run still writes
+	// correctly keyed checkpoints for the hours it does simulate.
+	// Write failures are swallowed: persistence must not fail the run.
+	cfg.SnapshotFunc = func(hour int, conc []float64) error {
+		_ = st.PutCheckpoint(n.PhysicsPrefixHash(hour+1), hour, sh.Species, sh.Layers, sh.Cells, conc)
+		return nil
+	}
+
+	// Contiguous stored physics from the run start: segs[i] is hour
+	// start+i. A gap ends the scan — prefixes beyond it cannot be
+	// stitched into a full-run trace.
+	var segs []*store.PhysicsRecord
+	for h := start + 1; h <= end; h++ {
+		rec, ok := st.GetRecord(n.PhysicsPrefixHash(h))
+		if !ok || len(rec.Trace.Hours) != 1 {
+			break
+		}
+		segs = append(segs, rec)
+	}
+
+	// Longest warm-startable prefix: the largest k with a verified
+	// checkpoint at P(k) inside the stitchable range. Missing
+	// checkpoints are cheap index misses; damaged ones were already
+	// deleted by the store's verification.
+	for k := start + len(segs); k > start; k-- {
+		path, hour, ok := st.Checkpoint(n.PhysicsPrefixHash(k))
+		if !ok || hour != k-1 {
+			continue
+		}
+		if k == end {
+			res, err := s.materialize(n, cfg, segs, path)
+			if err == nil {
+				return res, k, true, nil
+			}
+			continue // e.g. checkpoint evicted under us: try shorter
+		}
+		res, err := s.warmRun(ctx, n, cfg, segs[:k-start], path, k)
+		if err == nil {
+			return res, k, false, nil
+		}
+		if ctx.Err() != nil {
+			return nil, 0, false, err
+		}
+		break // suffix run failed on its merits; the cold run arbitrates
+	}
+
+	res, err := core.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	s.persistHours(n, start, res)
+	return res, 0, false, nil
+}
+
+// warmRun resumes the simulation from the stored checkpoint at absolute
+// hour k and stitches the stored prefix physics with the simulated
+// suffix into the full-run result.
+func (s *Scheduler) warmRun(ctx context.Context, n scenario.Spec, cfg core.Config, prefix []*store.PhysicsRecord, ckptPath string, k int) (*core.Result, error) {
+	cfg.Hours = n.EndHour() - k
+	suffix, err := core.RestartContext(ctx, ckptPath, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.persistHours(n, k, suffix)
+	return assembleResult(cfg, prefix, suffix, suffix.Final)
+}
+
+// materialize reconstructs the full result from stored physics alone:
+// the trace and peaks from the hour records, the final concentrations
+// from the end-of-run checkpoint. No numerics are recomputed.
+func (s *Scheduler) materialize(n scenario.Spec, cfg core.Config, segs []*store.PhysicsRecord, ckptPath string) (*core.Result, error) {
+	f, err := os.Open(ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	_, ns, nl, nc, conc, _, err := hourio.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	sh := cfg.Dataset.Shape
+	if ns != sh.Species || nl != sh.Layers || nc != sh.Cells {
+		return nil, fmt.Errorf("sched: stored checkpoint dimensions (%d,%d,%d) do not match data set %v", ns, nl, nc, sh)
+	}
+	return assembleResult(cfg, segs, nil, conc)
+}
+
+// assembleResult builds a complete core.Result from stored prefix
+// records plus an optional simulated suffix, repricing the stitched
+// trace exactly as a live run would have: the data-parallel replay
+// provides the node utilization (the live driver keeps the data-schedule
+// utilization even in task mode), the mode's own replay the ledger.
+func assembleResult(cfg core.Config, prefix []*store.PhysicsRecord, suffix *core.Result, final []float64) (*core.Result, error) {
+	tr := &core.Trace{Dataset: cfg.Dataset.Name, Shape: cfg.Dataset.Shape}
+	var peaks []float64
+	var cells []int
+	for _, rec := range prefix {
+		tr.Hours = append(tr.Hours, rec.Trace.Hours...)
+		peaks = append(peaks, rec.HourlyPeakO3...)
+		cells = append(cells, rec.HourlyPeakCell...)
+	}
+	if suffix != nil {
+		tr.Hours = append(tr.Hours, suffix.Trace.Hours...)
+		peaks = append(peaks, suffix.HourlyPeakO3...)
+		cells = append(cells, suffix.HourlyPeakCell...)
+	}
+	res := &core.Result{
+		Trace:          tr,
+		Final:          final,
+		TotalSteps:     tr.TotalSteps(),
+		HourlyPeakO3:   peaks,
+		HourlyPeakCell: cells,
+	}
+	for i, v := range peaks {
+		if v > res.PeakO3 {
+			res.PeakO3 = v
+			res.PeakO3Cell = cells[i]
+		}
+	}
+	dr, err := core.Replay(tr, cfg.Machine, cfg.Nodes, core.DataParallel)
+	if err != nil {
+		return nil, err
+	}
+	res.NodeUtilization, res.Efficiency = dr.NodeUtilization, dr.Efficiency
+	res.Ledger, res.CommSeconds, res.RedistCounts = dr.Ledger, dr.CommSeconds, dr.RedistCounts
+	if cfg.Mode == core.TaskParallel {
+		trr, err := core.Replay(tr, cfg.Machine, cfg.Nodes, core.TaskParallel)
+		if err != nil {
+			return nil, err
+		}
+		res.Ledger, res.CommSeconds, res.RedistCounts = trr.Ledger, trr.CommSeconds, trr.RedistCounts
+	}
+	return res, nil
+}
+
+// persistHours writes one physics record per simulated hour of res,
+// keyed by the prefix hash ending just past that hour. firstHour is the
+// absolute hour of res.Trace.Hours[0]. Best-effort.
+func (s *Scheduler) persistHours(n scenario.Spec, firstHour int, res *core.Result) {
+	for i := range res.Trace.Hours {
+		rec := &store.PhysicsRecord{
+			Trace: &core.Trace{
+				Dataset: res.Trace.Dataset,
+				Shape:   res.Trace.Shape,
+				Hours:   res.Trace.Hours[i : i+1 : i+1],
+			},
+			HourlyPeakO3:   res.HourlyPeakO3[i : i+1 : i+1],
+			HourlyPeakCell: res.HourlyPeakCell[i : i+1 : i+1],
+		}
+		_ = s.opts.Store.PutRecord(n.PhysicsPrefixHash(firstHour+i+1), rec)
+	}
+}

@@ -1,0 +1,496 @@
+// Package store is the crash-safe, content-addressed on-disk artifact
+// store behind the scenario service's persistence: completed run results
+// (keyed by the full scenario hash), machine-independent physics records
+// — work trace plus ozone diagnostics — and hourly concentration
+// checkpoints (both keyed by the scenario physics-prefix hash,
+// scenario.Spec.PhysicsPrefixHash). Checkpoints reuse the hourio
+// checksummed snapshot format, so a stored checkpoint is directly
+// consumable by core.Restart; results and records travel in a small
+// CRC-framed gob envelope.
+//
+// The durability contract is deliberately asymmetric: writes are atomic
+// (serialise to a temp file in the same directory, fsync, rename into
+// place) so a crash never leaves a partially-visible entry, while reads
+// are defensive — a truncated, bit-flipped or otherwise undecodable entry
+// fails its CRC or decode, is deleted, and reported as a miss. Callers
+// recompute; the store never propagates corruption and never crashes on
+// it. A size-capped GC evicts oldest-first when the configured byte
+// budget is exceeded, so the store can run unattended under a daemon.
+//
+// All methods are safe for concurrent use. Lookups racing GC simply miss.
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"airshed/internal/core"
+	"airshed/internal/hourio"
+)
+
+// envelopeMagic frames result and record files.
+const envelopeMagic = "AIRSTOR1"
+
+// maxPayload bounds a decoded envelope payload (corruption guard).
+const maxPayload = 1 << 31
+
+// Artifact kind subdirectories.
+const (
+	kindResult     = "results"
+	kindRecord     = "records"
+	kindCheckpoint = "checkpoints"
+)
+
+// PhysicsRecord is the machine-independent physics of a run prefix: the
+// work trace of its hours and the per-hour ground-level ozone peaks. A
+// record plus the matching checkpoint reconstructs a full result for any
+// machine, node count and mode via core.Replay — the "reuse the physics
+// wholesale" path — and a record alone merges a warm-started suffix run
+// back into full-run diagnostics.
+type PhysicsRecord struct {
+	Trace          *core.Trace
+	HourlyPeakO3   []float64
+	HourlyPeakCell []int
+}
+
+// PeakO3 returns the record's overall ozone peak and its cell.
+func (r *PhysicsRecord) PeakO3() (peak float64, cell int) {
+	for i, v := range r.HourlyPeakO3 {
+		if v > peak {
+			peak = v
+			cell = r.HourlyPeakCell[i]
+		}
+	}
+	return peak, cell
+}
+
+// Validate checks internal consistency.
+func (r *PhysicsRecord) Validate() error {
+	if r.Trace == nil {
+		return fmt.Errorf("store: record has no trace")
+	}
+	if err := r.Trace.Validate(); err != nil {
+		return err
+	}
+	if len(r.HourlyPeakO3) != len(r.Trace.Hours) || len(r.HourlyPeakCell) != len(r.Trace.Hours) {
+		return fmt.Errorf("store: record has %d hours but %d/%d peak entries",
+			len(r.Trace.Hours), len(r.HourlyPeakO3), len(r.HourlyPeakCell))
+	}
+	return nil
+}
+
+// Counters is a point-in-time snapshot of the store's metrics. Hits and
+// Misses count lookups across all artifact kinds; Corrupt counts entries
+// that failed CRC or decode verification (each also counts as a miss);
+// Evictions counts GC removals.
+type Counters struct {
+	Hits      uint64
+	Misses    uint64
+	Corrupt   uint64
+	Evictions uint64
+
+	// Gauges.
+	Entries int
+	Bytes   int64
+}
+
+// entry is one on-disk artifact in the index.
+type entry struct {
+	size  int64
+	added time.Time
+}
+
+// Store is the on-disk artifact store. Create with Open.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu       sync.Mutex
+	entries  map[string]entry // by relpath kind/hash.ext
+	bytes    int64
+	counters Counters
+}
+
+// Open creates (or reopens) a store rooted at dir, capped at maxBytes of
+// artifact data (<= 0 means unlimited). Existing entries are indexed;
+// leftover temp files from an interrupted write are removed.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  make(map[string]entry),
+	}
+	for _, kind := range []string{kindResult, kindRecord, kindCheckpoint} {
+		sub := filepath.Join(dir, kind)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		des, err := os.ReadDir(sub)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		for _, de := range des {
+			if de.IsDir() {
+				continue
+			}
+			if strings.HasPrefix(de.Name(), "tmp-") {
+				os.Remove(filepath.Join(sub, de.Name()))
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			rel := filepath.Join(kind, de.Name())
+			s.entries[rel] = entry{size: info.Size(), added: info.ModTime()}
+			s.bytes += info.Size()
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Counters snapshots the metrics.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters
+	c.Entries = len(s.entries)
+	c.Bytes = s.bytes
+	return c
+}
+
+// relpath builds the index key / on-disk location of an artifact.
+func relpath(kind, hash, ext string) (string, error) {
+	if hash == "" || strings.ContainsAny(hash, "/\\.") {
+		return "", fmt.Errorf("store: invalid artifact hash %q", hash)
+	}
+	return filepath.Join(kind, hash+ext), nil
+}
+
+// writeAtomic serialises data to rel via a same-directory temp file and
+// rename, then indexes it and runs GC.
+func (s *Store) writeAtomic(rel string, write func(io.Writer) error) error {
+	full := filepath.Join(s.dir, rel)
+	f, err := os.CreateTemp(filepath.Dir(full), "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", rel, err)
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", rel, err)
+	}
+	info, err := os.Stat(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", rel, err)
+	}
+	if err := os.Rename(tmp, full); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[rel]; ok {
+		s.bytes -= old.size
+	}
+	s.entries[rel] = entry{size: info.Size(), added: time.Now()}
+	s.bytes += info.Size()
+	s.gcLocked(rel)
+	return nil
+}
+
+// gcLocked evicts oldest-first until the byte budget holds again. The
+// just-written entry keep is never evicted (serving one oversized
+// artifact beats serving none); s.mu held.
+func (s *Store) gcLocked(keep string) {
+	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+		return
+	}
+	type aged struct {
+		rel   string
+		added time.Time
+	}
+	victims := make([]aged, 0, len(s.entries))
+	for rel, e := range s.entries {
+		if rel != keep {
+			victims = append(victims, aged{rel, e.added})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if !victims[i].added.Equal(victims[j].added) {
+			return victims[i].added.Before(victims[j].added)
+		}
+		return victims[i].rel < victims[j].rel
+	})
+	for _, v := range victims {
+		if s.bytes <= s.maxBytes {
+			return
+		}
+		s.removeLocked(v.rel)
+		s.counters.Evictions++
+	}
+}
+
+// removeLocked drops an entry from the index and the disk; s.mu held.
+func (s *Store) removeLocked(rel string) {
+	if e, ok := s.entries[rel]; ok {
+		s.bytes -= e.size
+		delete(s.entries, rel)
+	}
+	os.Remove(filepath.Join(s.dir, rel))
+}
+
+// lookup resolves rel to a full path if indexed.
+func (s *Store) lookup(rel string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[rel]; !ok {
+		s.counters.Misses++
+		return "", false
+	}
+	return filepath.Join(s.dir, rel), true
+}
+
+// miss books a plain miss discovered after the index lookup (e.g. the
+// file vanished under GC on another store handle).
+func (s *Store) miss(rel string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.Misses++
+	if e, ok := s.entries[rel]; ok {
+		s.bytes -= e.size
+		delete(s.entries, rel)
+	}
+}
+
+// corrupt books a failed verification: the entry is deleted and the
+// lookup reported as a miss, so the caller transparently recomputes.
+func (s *Store) corrupt(rel string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.Corrupt++
+	s.counters.Misses++
+	s.removeLocked(rel)
+}
+
+// hit books a verified read.
+func (s *Store) hit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.Hits++
+}
+
+// writeEnvelope frames a gob+gzip payload with magic, CRC and length.
+func writeEnvelope(w io.Writer, v any) error {
+	var payload bytes.Buffer
+	zw := gzip.NewWriter(&payload)
+	if err := gob.NewEncoder(zw).Encode(v); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(envelopeMagic)); err != nil {
+		return err
+	}
+	crc := crc32.ChecksumIEEE(payload.Bytes())
+	if err := binary.Write(w, binary.LittleEndian, crc); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(payload.Len())); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+// readEnvelope verifies the frame and decodes the payload into v.
+func readEnvelope(r io.Reader, v any) error {
+	magic := make([]byte, len(envelopeMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("reading magic: %w", err)
+	}
+	if string(magic) != envelopeMagic {
+		return fmt.Errorf("bad magic %q", magic)
+	}
+	var crc uint32
+	if err := binary.Read(r, binary.LittleEndian, &crc); err != nil {
+		return fmt.Errorf("reading checksum: %w", err)
+	}
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return fmt.Errorf("reading length: %w", err)
+	}
+	if n == 0 || n > maxPayload {
+		return fmt.Errorf("implausible payload length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("reading payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != crc {
+		return fmt.Errorf("checksum mismatch: file %08x, computed %08x", crc, got)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer zr.Close()
+	return gob.NewDecoder(zr).Decode(v)
+}
+
+// putEnveloped writes one framed artifact.
+func (s *Store) putEnveloped(kind, hash, ext string, v any) error {
+	rel, err := relpath(kind, hash, ext)
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(rel, func(w io.Writer) error { return writeEnvelope(w, v) })
+}
+
+// getEnveloped reads and verifies one framed artifact into v.
+func (s *Store) getEnveloped(kind, hash, ext string, v any) bool {
+	rel, err := relpath(kind, hash, ext)
+	if err != nil {
+		return false
+	}
+	full, ok := s.lookup(rel)
+	if !ok {
+		return false
+	}
+	f, err := os.Open(full)
+	if err != nil {
+		s.miss(rel)
+		return false
+	}
+	err = readEnvelope(f, v)
+	f.Close()
+	if err != nil {
+		s.corrupt(rel)
+		return false
+	}
+	s.hit()
+	return true
+}
+
+// PutResult stores a completed run result under the scenario hash.
+func (s *Store) PutResult(specHash string, res *core.Result) error {
+	return s.putEnveloped(kindResult, specHash, ".res", res)
+}
+
+// GetResult returns the stored result for a scenario hash. Corrupt
+// entries are deleted and reported as a miss.
+func (s *Store) GetResult(specHash string) (*core.Result, bool) {
+	var res core.Result
+	if !s.getEnveloped(kindResult, specHash, ".res", &res) {
+		return nil, false
+	}
+	return &res, true
+}
+
+// PutRecord stores a physics record under a physics-prefix hash.
+func (s *Store) PutRecord(prefixHash string, rec *PhysicsRecord) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	return s.putEnveloped(kindRecord, prefixHash, ".rec", rec)
+}
+
+// GetRecord returns the physics record for a physics-prefix hash.
+func (s *Store) GetRecord(prefixHash string) (*PhysicsRecord, bool) {
+	var rec PhysicsRecord
+	if !s.getEnveloped(kindRecord, prefixHash, ".rec", &rec) {
+		return nil, false
+	}
+	if rec.Validate() != nil {
+		// Decoded but inconsistent: treat like corruption.
+		if rel, err := relpath(kindRecord, prefixHash, ".rec"); err == nil {
+			s.corrupt(rel)
+		}
+		return nil, false
+	}
+	return &rec, true
+}
+
+// PutCheckpoint stores the end-of-hour concentration state of a physics
+// prefix in the hourio snapshot format (hour is the last completed hour,
+// so the prefix covers [StartHour, hour]).
+func (s *Store) PutCheckpoint(prefixHash string, hour, ns, nl, ncells int, conc []float64) error {
+	rel, err := relpath(kindCheckpoint, prefixHash, ".snap")
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(rel, func(w io.Writer) error {
+		_, err := hourio.WriteSnapshot(w, hour, ns, nl, ncells, conc)
+		return err
+	})
+}
+
+// Checkpoint verifies (full read, CRC) and returns the on-disk path and
+// hour of the checkpoint for a physics-prefix hash — the file is directly
+// consumable by core.Restart. Corrupt entries are deleted and reported as
+// a miss.
+func (s *Store) Checkpoint(prefixHash string) (path string, hour int, ok bool) {
+	rel, err := relpath(kindCheckpoint, prefixHash, ".snap")
+	if err != nil {
+		return "", 0, false
+	}
+	full, ok := s.lookup(rel)
+	if !ok {
+		return "", 0, false
+	}
+	f, err := os.Open(full)
+	if err != nil {
+		s.miss(rel)
+		return "", 0, false
+	}
+	hour, _, _, _, _, _, err = hourio.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		s.corrupt(rel)
+		return "", 0, false
+	}
+	s.hit()
+	return full, hour, true
+}
+
+// Len returns the number of indexed artifacts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the indexed artifact volume.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
