@@ -411,6 +411,42 @@ func BenchmarkCoupledReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkRunLAHour measures one fully physical daytime LA hour — the
+// whole-run unit behind daemon jobs and sweeps — at virtual nodes = 1
+// (the paper's sequential baseline) under each execution path: fully
+// serial, the legacy one-goroutine-per-virtual-node path (which at P=1
+// is also single-threaded), and the host engine, whose worker pool is
+// sized by GOMAXPROCS independently of the virtual decomposition. On a
+// multi-core host only the host engine spreads this load.
+func BenchmarkRunLAHour(b *testing.B) {
+	ds, err := datasets.LA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name        string
+		goParallel  bool
+		hostWorkers int
+	}{
+		{"serial", false, 0},
+		{"node-parallel", true, -1},
+		{"host-engine", true, 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(core.Config{
+					Dataset: ds, Machine: machine.CrayT3E(), Nodes: 1,
+					Hours: 1, StartHour: 12,
+					GoParallel: tc.goParallel, HostWorkers: tc.hostWorkers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMiniHourPhysical measures one fully physical simulated hour of
 // the Mini data set (numerics + distributed arrays + charging).
 func BenchmarkMiniHourPhysical(b *testing.B) {

@@ -67,6 +67,8 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain the queue on shutdown")
 		storeDir     = flag.String("store", "", "artifact store directory (empty disables persistence)")
 		storeMB      = flag.Int64("store-mb", 2048, "artifact store size cap in MiB (<= 0 unlimited)")
+		hostWorkers  = flag.Int("host-workers", 0, "host engine workers per job (0 = shared GOMAXPROCS pool, <0 = legacy per-node goroutines)")
+		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -86,9 +88,10 @@ func run() error {
 		CacheBytes:   *cacheMB << 20,
 		JobTimeout:   *jobTimeout,
 		GoParallel:   true,
+		HostWorkers:  *hostWorkers,
 		Store:        artifacts,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newServer(scheduler, artifacts).handler()}
+	srv := &http.Server{Addr: *addr, Handler: newServer(scheduler, artifacts, *pprofFlag).handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

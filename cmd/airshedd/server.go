@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 
 	"airshed/internal/core"
+	"airshed/internal/fx"
 	"airshed/internal/machine"
 	"airshed/internal/perfmodel"
 	"airshed/internal/report"
@@ -26,9 +28,10 @@ import (
 // request for a configuration traces it once at 1 node and every later
 // prediction for any machine or node count is instant.
 type server struct {
-	sched  *sched.Scheduler
-	store  *store.Store // nil when -store is unset
-	sweeps *sweep.Engine
+	sched   *sched.Scheduler
+	store   *store.Store // nil when -store is unset
+	sweeps  *sweep.Engine
+	profile bool // expose net/http/pprof under /debug/pprof/
 
 	traceMu sync.Mutex
 	traces  map[string]*traceEntry
@@ -40,12 +43,13 @@ type traceEntry struct {
 	err   error
 }
 
-func newServer(s *sched.Scheduler, st *store.Store) *server {
+func newServer(s *sched.Scheduler, st *store.Store, profile bool) *server {
 	return &server{
-		sched:  s,
-		store:  st,
-		sweeps: sweep.NewEngine(s),
-		traces: make(map[string]*traceEntry),
+		sched:   s,
+		store:   st,
+		sweeps:  sweep.NewEngine(s),
+		profile: profile,
+		traces:  make(map[string]*traceEntry),
 	}
 }
 
@@ -60,6 +64,15 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.profile {
+		// The explicit registrations mirror what importing net/http/pprof
+		// does to http.DefaultServeMux, which this server does not use.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -349,6 +362,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "airshedd_store_entries %d\n", sc.Entries)
 		fmt.Fprintf(w, "airshedd_store_bytes %d\n", sc.Bytes)
 	}
+	// Host execution engine gauges. Jobs run on the process-wide shared
+	// engine unless -host-workers pins dedicated per-job pools, so these
+	// reflect the chunk-level parallelism underneath the scheduler's
+	// job-level workers.
+	es := fx.SharedEngine().Stats()
+	fmt.Fprintf(w, "airshedd_engine_workers %d\n", es.Workers)
+	fmt.Fprintf(w, "airshedd_engine_active_workers %d\n", es.Active)
+	fmt.Fprintf(w, "airshedd_engine_chunk_queue_depth %d\n", es.Queued)
+	fmt.Fprintf(w, "airshedd_engine_chunks_total %d\n", es.Chunks)
+	fmt.Fprintf(w, "airshedd_engine_runs_total %d\n", es.Runs)
 }
 
 // intParam parses an integer query parameter; empty means def.

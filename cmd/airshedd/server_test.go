@@ -29,7 +29,7 @@ func testServer(t *testing.T, opts sched.Options) (*httptest.Server, *sched.Sche
 	}
 	opts.GoParallel = true
 	scheduler := sched.New(opts)
-	ts := httptest.NewServer(newServer(scheduler, opts.Store).handler())
+	ts := httptest.NewServer(newServer(scheduler, opts.Store, true).handler())
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -530,5 +530,41 @@ func TestHealthz(t *testing.T) {
 	raw, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(raw)) != "ok" {
 		t.Errorf("healthz: %d %q", resp.StatusCode, raw)
+	}
+}
+
+// TestEngineGaugesAndPprof verifies the host-engine gauges appear in
+// /metrics and that the profiling endpoints are live when enabled. A
+// completed run must have pushed chunks through the shared engine.
+func TestEngineGaugesAndPprof(t *testing.T) {
+	ts, _ := testServer(t, sched.Options{})
+
+	sr, code := postRun(t, ts, miniBody(2))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitDone(t, ts, sr.ID)
+
+	if w := metric(t, ts, "airshedd_engine_workers"); w < 1 {
+		t.Errorf("engine workers = %d, want >= 1", w)
+	}
+	if n := metric(t, ts, "airshedd_engine_runs_total"); n < 1 {
+		t.Errorf("engine runs = %d, want >= 1 after a completed job", n)
+	}
+	if n := metric(t, ts, "airshedd_engine_chunks_total"); n < 1 {
+		t.Errorf("engine chunks = %d, want >= 1 after a completed job", n)
+	}
+	// Gauges, not counters: nothing should be in flight now.
+	if q := metric(t, ts, "airshedd_engine_chunk_queue_depth"); q != 0 {
+		t.Errorf("idle chunk queue depth = %d, want 0", q)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d, want 200", resp.StatusCode)
 	}
 }

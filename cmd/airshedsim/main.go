@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"airshed/internal/core"
 	"airshed/internal/report"
@@ -47,6 +49,9 @@ func run() error {
 		jsonOut  = flag.Bool("json", false, "emit the run summary as JSON instead of tables")
 		saveTr   = flag.String("save-trace", "", "save the work trace to this file for later replay")
 		restart  = flag.String("restart", "", "resume from this hourly snapshot file (sets the start hour and initial state)")
+		workers  = flag.Int("workers", 0, "host engine workers (0 = shared GOMAXPROCS pool, <0 = legacy per-node goroutines)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	flag.Parse()
 
@@ -68,10 +73,38 @@ func run() error {
 	}
 	cfg.SnapshotDir = *snapDir
 	cfg.GoParallel = true
+	cfg.HostWorkers = *workers
 	if *snapDir != "" {
 		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
 			return err
 		}
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// Written after the run (see below); create eagerly so a bad path
+		// fails before hours of simulation rather than after.
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "airshedsim: heap profile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if !*jsonOut {

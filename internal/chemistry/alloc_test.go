@@ -1,0 +1,49 @@
+package chemistry
+
+import (
+	"testing"
+
+	"airshed/internal/species"
+)
+
+// TestApplyZeroAlloc pins the steady-state allocation behaviour of the
+// chemistry hot path: once an Operator is built, Apply must not allocate
+// — the host engine runs it millions of times per simulated day, and any
+// per-call garbage would serialise the worker pool on the allocator.
+func TestApplyZeroAlloc(t *testing.T) {
+	mech := species.StandardMechanism()
+	geo := StandardLayers()
+	op, err := NewOperator(mech, geo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, nl := mech.N(), geo.Layers()
+	conc := make([]float64, n*nl)
+	for l := 0; l < nl; l++ {
+		copy(conc[n*l:n*(l+1)], mech.Backgrounds())
+	}
+	env := &CellEnv{
+		TempK: make([]float64, nl),
+		Sun:   0.8,
+		Vert: &VerticalEnv{
+			Kz:   make([]float64, nl-1),
+			VDep: make([]float64, n),
+			Emis: make([]float64, n),
+		},
+	}
+	for l := 0; l < nl; l++ {
+		env.TempK[l] = 298 - float64(l)
+	}
+	for i := 0; i < nl-1; i++ {
+		env.Vert.Kz[i] = 10
+	}
+	apply := func() {
+		if _, err := op.Apply(conc, env, 60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply() // warm up: populate the per-layer rate cache
+	if avg := testing.AllocsPerRun(20, apply); avg != 0 {
+		t.Errorf("Operator.Apply allocates %.1f objects per call in steady state, want 0", avg)
+	}
+}

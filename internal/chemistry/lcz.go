@@ -29,6 +29,22 @@ type Operator struct {
 	integ *Integrator
 	vert  *VerticalSolver
 	layer []float64
+
+	// rates caches the rate-constant vector per layer: temperature is a
+	// per-layer hourly forcing and the actinic flux an hourly scalar, so
+	// within one chemistry phase every column sees identical (T, sun)
+	// per layer. One RateConstants evaluation per layer per hour then
+	// serves the whole shard instead of every column recomputing the
+	// Arrhenius/photolysis expressions. Values are identical by
+	// construction, so results do not change.
+	rates []layerRates
+}
+
+// layerRates is one cached rate-constant vector and its forcing key.
+type layerRates struct {
+	t, sun float64
+	valid  bool
+	k      []float64
 }
 
 // NewOperator builds the Lcz operator for a mechanism and column geometry.
@@ -37,13 +53,18 @@ func NewOperator(mech *species.Mechanism, geo *ColumnGeometry, cfg Config) (*Ope
 	if err != nil {
 		return nil, err
 	}
-	return &Operator{
+	op := &Operator{
 		mech:  mech,
 		geo:   geo,
 		integ: integ,
 		vert:  NewVerticalSolver(geo),
 		layer: make([]float64, mech.N()),
-	}, nil
+		rates: make([]layerRates, geo.Layers()),
+	}
+	for l := range op.rates {
+		op.rates[l].k = make([]float64, len(mech.Reactions))
+	}
+	return op, nil
 }
 
 // Mechanism returns the operator's mechanism.
@@ -107,9 +128,14 @@ func (op *Operator) Apply(conc []float64, env *CellEnv, dtSeconds float64) (Cell
 
 	dtMin := dtSeconds / 60.0
 	for l := 0; l < nl; l++ {
+		lr := &op.rates[l]
+		if !lr.valid || lr.t != env.TempK[l] || lr.sun != env.Sun {
+			op.mech.RateConstants(env.TempK[l], env.Sun, lr.k)
+			lr.t, lr.sun, lr.valid = env.TempK[l], env.Sun, true
+		}
 		block := conc[n*l : n*(l+1)]
 		copy(op.layer, block)
-		cw, err := op.integ.Integrate(op.layer, dtMin, env.TempK[l], env.Sun)
+		cw, err := op.integ.IntegrateWithRates(op.layer, dtMin, lr.k)
 		if err != nil {
 			return w, err
 		}

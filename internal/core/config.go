@@ -101,6 +101,16 @@ type Config struct {
 	// GoParallel enables host goroutine parallelism for the node
 	// bodies. It does not affect results.
 	GoParallel bool
+	// HostWorkers selects the host execution engine used when GoParallel
+	// is set. 0 (the default) schedules work chunks onto the process-wide
+	// shared engine (GOMAXPROCS workers); > 0 runs this simulation on a
+	// dedicated engine with that many workers; < 0 falls back to the
+	// legacy one-goroutine-per-virtual-node path. The engine decouples
+	// host parallelism from the virtual node count — a nodes=1 paper
+	// baseline still uses every core — and its deterministic reduction
+	// keeps results and ledgers bit-identical across all settings. It
+	// does not affect results. Ignored when GoParallel is false.
+	HostWorkers int
 	// MaxStepsPerHour caps the runtime-determined step count (safety
 	// valve; 0 means the default cap of 6).
 	MaxStepsPerHour int

@@ -70,10 +70,23 @@ type Simulation struct {
 	arr  *fx.Array
 	aero *aerosol.Model
 
+	// Legacy per-virtual-node operator set (GoParallel off, or
+	// HostWorkers < 0). Empty when the host engine is in use.
 	chemOps  []*chemistry.Operator
 	transOps []*transport.Operator2D
 	fieldBuf [][]float64 // per-node layer-field scratch
 	emisBuf  [][]float64 // per-node per-species emission scratch
+
+	// Host engine state: operators and scratch are pooled per engine
+	// worker (the chemistry.Operator is single-owner), not per virtual
+	// node, so a nodes=1 run still fills every core.
+	useEngine   bool
+	engine      *fx.Engine // shared engine, or the dedicated one while running
+	workerChem  []*chemistry.Operator
+	workerTrans []*transport.Operator2D
+	workerField [][]float64          // per-worker layer-field scratch
+	workerEnv   []*chemistry.CellEnv // per-worker cell environment (owns its emis buffer)
+	trailBuf    []float64            // trailing-transport record scratch, reused per step
 
 	minCell float64
 	iO3     int
@@ -123,23 +136,53 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		}
 	}
 	chemCfg := cfg.chemConfig()
-	s.chemOps = make([]*chemistry.Operator, cfg.Nodes)
-	s.transOps = make([]*transport.Operator2D, cfg.Nodes)
-	s.fieldBuf = make([][]float64, cfg.Nodes)
-	s.emisBuf = make([][]float64, cfg.Nodes)
-	for n := 0; n < cfg.Nodes; n++ {
-		op, err := chemistry.NewOperator(ds.Mechanism(), ds.Geometry(), chemCfg)
-		if err != nil {
-			return nil, err
+	s.useEngine = cfg.GoParallel && cfg.HostWorkers >= 0
+	s.trailBuf = make([]float64, ds.Shape.Layers)
+	if s.useEngine {
+		nw := cfg.HostWorkers
+		if nw == 0 {
+			s.engine = fx.SharedEngine()
+			nw = s.engine.Workers()
 		}
-		s.chemOps[n] = op
-		top, err := transport.New2D(g)
-		if err != nil {
-			return nil, err
+		s.workerChem = make([]*chemistry.Operator, nw)
+		s.workerTrans = make([]*transport.Operator2D, nw)
+		s.workerField = make([][]float64, nw)
+		s.workerEnv = make([]*chemistry.CellEnv, nw)
+		for w := 0; w < nw; w++ {
+			op, err := chemistry.NewOperator(ds.Mechanism(), ds.Geometry(), chemCfg)
+			if err != nil {
+				return nil, err
+			}
+			s.workerChem[w] = op
+			top, err := transport.New2D(g)
+			if err != nil {
+				return nil, err
+			}
+			s.workerTrans[w] = top
+			s.workerField[w] = make([]float64, ds.Shape.Cells)
+			s.workerEnv[w] = &chemistry.CellEnv{
+				Vert: &chemistry.VerticalEnv{Emis: make([]float64, ds.Shape.Species)},
+			}
 		}
-		s.transOps[n] = top
-		s.fieldBuf[n] = make([]float64, ds.Shape.Cells)
-		s.emisBuf[n] = make([]float64, ds.Shape.Species)
+	} else {
+		s.chemOps = make([]*chemistry.Operator, cfg.Nodes)
+		s.transOps = make([]*transport.Operator2D, cfg.Nodes)
+		s.fieldBuf = make([][]float64, cfg.Nodes)
+		s.emisBuf = make([][]float64, cfg.Nodes)
+		for n := 0; n < cfg.Nodes; n++ {
+			op, err := chemistry.NewOperator(ds.Mechanism(), ds.Geometry(), chemCfg)
+			if err != nil {
+				return nil, err
+			}
+			s.chemOps[n] = op
+			top, err := transport.New2D(g)
+			if err != nil {
+				return nil, err
+			}
+			s.transOps[n] = top
+			s.fieldBuf[n] = make([]float64, ds.Shape.Cells)
+			s.emisBuf[n] = make([]float64, ds.Shape.Species)
+		}
 	}
 	s.trace = &Trace{Dataset: ds.Name, Shape: ds.Shape}
 	s.result = &Result{
@@ -187,6 +230,18 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 	sh := ds.Shape
 	prov := ds.Provider
 	mech := ds.Mechanism()
+
+	// A positive HostWorkers asks for a dedicated engine scoped to this
+	// run; the shared engine (HostWorkers == 0) was bound at build time
+	// and is never closed.
+	if s.useEngine && s.engine == nil {
+		eng := fx.NewEngine(s.cfg.HostWorkers)
+		s.engine = eng
+		defer func() {
+			s.engine = nil
+			eng.Close()
+		}()
+	}
 
 	for hour := s.cfg.StartHour; hour < s.cfg.StartHour+s.cfg.Hours; hour++ {
 		if err := ctx.Err(); err != nil {
@@ -262,7 +317,7 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 			if err := s.redistribute(dist.DTrans, KindReplToTrans); err != nil {
 				return nil, err
 			}
-			trail := make([]float64, sh.Layers)
+			trail := s.trailBuf
 			if err := s.transportPhase(envs, in, dtStep/2, nsub, trail); err != nil {
 				return nil, err
 			}
@@ -370,7 +425,12 @@ func (s *Simulation) buildTransportEnvs(in *meteo.HourInput) []transport.Env {
 // hourSubsteps computes the shared transport substep count for an hour:
 // the worst layer's CFL requirement for a half step of dtHalf seconds.
 func (s *Simulation) hourSubsteps(envs []transport.Env, dtHalf float64) (int, error) {
-	op := s.transOps[0]
+	var op *transport.Operator2D
+	if s.useEngine {
+		op = s.workerTrans[0]
+	} else {
+		op = s.transOps[0]
+	}
 	nsub := 1
 	for l := range envs {
 		if _, err := op.Prepare(&envs[l]); err != nil {
@@ -386,6 +446,9 @@ func (s *Simulation) hourSubsteps(envs []transport.Env, dtHalf float64) (int, er
 // transportPhase runs the horizontal operator on every owned layer with
 // the shared substep count.
 func (s *Simulation) transportPhase(envs []transport.Env, in *meteo.HourInput, dt float64, nsub int, record []float64) error {
+	if s.useEngine {
+		return s.transportPhaseEngine(envs, in, dt, nsub, record)
+	}
 	ds := s.cfg.Dataset
 	sh := ds.Shape
 	return s.rt.ParallelNodes(vm.CatTransport, func(node int) (float64, error) {
@@ -424,8 +487,55 @@ func (s *Simulation) transportPhase(envs []transport.Env, in *meteo.HourInput, d
 	})
 }
 
+// transportPhaseEngine is the host-engine transport phase: all layers
+// form one item space chunked across the worker pool regardless of which
+// virtual node owns them. Each layer's charged work lands in its fixed
+// record slot; chargeOwned then reduces the slots per owning node in
+// index order, reproducing the legacy per-node accumulation bit for bit.
+func (s *Simulation) transportPhaseEngine(envs []transport.Env, in *meteo.HourInput, dt float64, nsub int, record []float64) error {
+	ds := s.cfg.Dataset
+	sh := ds.Shape
+	p := s.cfg.Nodes
+	err := s.engine.Run(sh.Layers, func(worker, lo, hi int) error {
+		op := s.workerTrans[worker]
+		buf := s.workerField[worker]
+		for l := lo; l < hi; l++ {
+			node := dist.BlockOwnerOf(sh.Layers, p, l)
+			env := &envs[l]
+			if _, err := op.Prepare(env); err != nil {
+				return err
+			}
+			var layerWork float64
+			for sp := 0; sp < sh.Species; sp++ {
+				if err := s.arr.GatherLayerField(node, sp, l, buf); err != nil {
+					return err
+				}
+				env.Inflow = in.Inflow[sp]
+				w, err := op.StepFieldN(buf, env, dt, nsub)
+				if err != nil {
+					return err
+				}
+				layerWork += w
+				if err := s.arr.ScatterLayerField(node, sp, l, buf); err != nil {
+					return err
+				}
+			}
+			record[l] = layerWork * ds.TransportFlopsScale
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.chargeOwned(vm.CatTransport, sh.Layers, record)
+	return nil
+}
+
 // chemistryPhase runs the Lcz operator on every owned cell column.
 func (s *Simulation) chemistryPhase(in *meteo.HourInput, dt float64, record []float64) error {
+	if s.useEngine {
+		return s.chemistryPhaseEngine(in, dt, record)
+	}
 	ds := s.cfg.Dataset
 	mech := ds.Mechanism()
 	return s.rt.ParallelNodes(vm.CatChemistry, func(node int) (float64, error) {
@@ -464,6 +574,70 @@ func (s *Simulation) chemistryPhase(in *meteo.HourInput, dt float64, record []fl
 		}
 		return flops, nil
 	})
+}
+
+// chemistryPhaseEngine is the host-engine chemistry phase: all cell
+// columns form one item space chunked across the worker pool. Each
+// worker applies its own pooled Operator (single-owner scratch) and the
+// per-cell flops land in fixed record slots for the deterministic
+// reduction.
+func (s *Simulation) chemistryPhaseEngine(in *meteo.HourInput, dt float64, record []float64) error {
+	ds := s.cfg.Dataset
+	sh := ds.Shape
+	mech := ds.Mechanism()
+	p := s.cfg.Nodes
+	for _, env := range s.workerEnv {
+		env.TempK = in.TempK
+		env.Sun = in.Sun
+		env.Vert.Kz = in.Kz
+		env.Vert.VDep = in.VDep
+		env.Vert.VSettle = in.VSettle
+	}
+	err := s.engine.Run(sh.Cells, func(worker, lo, hi int) error {
+		op := s.workerChem[worker]
+		env := s.workerEnv[worker]
+		emis := env.Vert.Emis
+		for c := lo; c < hi; c++ {
+			node := dist.BlockOwnerOf(sh.Cells, p, c)
+			block, err := s.arr.CellBlock(node, c)
+			if err != nil {
+				return err
+			}
+			for sp := range emis {
+				emis[sp] = in.Emis[sp][c]
+			}
+			cw, err := op.Apply(block, env, dt)
+			if err != nil {
+				return err
+			}
+			record[c] = cw.Flops(mech, ds.ChemFlopsScale)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.chargeOwned(vm.CatChemistry, sh.Cells, record)
+	return nil
+}
+
+// chargeOwned performs the deterministic reduction of the host-engine
+// phases: record holds one charged-flops slot per item (layer or cell),
+// and each virtual node is charged the sum over its owned block interval
+// accumulated in index order — exactly the order the legacy per-node
+// loop adds in, so ledgers and traces stay bit-identical — followed by
+// the phase barrier.
+func (s *Simulation) chargeOwned(cat vm.Category, n int, record []float64) {
+	p := s.cfg.Nodes
+	for node := 0; node < p; node++ {
+		iv := dist.BlockOwner(n, p, node)
+		var flops float64
+		for i := iv.Lo; i < iv.Hi; i++ {
+			flops += record[i]
+		}
+		s.vm.ChargeCompute(node, cat, flops)
+	}
+	s.vm.Barrier()
 }
 
 // aerosolPhase runs the replicated aerosol step: executed once on the

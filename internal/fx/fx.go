@@ -47,6 +47,28 @@ type Array struct {
 
 	repl   []float64   // backing when d.Kind == Replicated
 	shards [][]float64 // per-node shards otherwise
+
+	// Redistribution scratch: the driver cycles the array through the
+	// same distributions four times per time step, so retiring buffers
+	// are parked per distribution and revived on the next visit, the
+	// staging buffer is kept, and plans are memoised — the steady-state
+	// step path allocates nothing. Every reused element is overwritten
+	// by the scatter, so reuse cannot change values.
+	retired   map[dist.Dist]arrayBuffers
+	globalBuf []float64
+	plans     map[planKey]*dist.Plan
+}
+
+// arrayBuffers is one distribution's parked backing storage.
+type arrayBuffers struct {
+	repl   []float64
+	shards [][]float64
+}
+
+// planKey identifies a memoised redistribution plan.
+type planKey struct {
+	from, to dist.Dist
+	nodes    int
 }
 
 // NewArray allocates a distributed array with the given distribution,
@@ -90,6 +112,25 @@ func (a *Array) alloc(d dist.Dist) error {
 		a.shards[n] = make([]float64, dist.OwnedCount(a.Shape, d, p, n))
 	}
 	return nil
+}
+
+// swapTo parks the current distribution's buffers and installs the
+// target's — revived from an earlier visit when possible, allocated on
+// first use. The caller must overwrite the revived storage completely
+// (scatterGlobal does).
+func (a *Array) swapTo(to dist.Dist) error {
+	if a.retired == nil {
+		a.retired = make(map[dist.Dist]arrayBuffers)
+	}
+	a.retired[a.d] = arrayBuffers{repl: a.repl, shards: a.shards}
+	if bufs, ok := a.retired[to]; ok {
+		delete(a.retired, to)
+		a.d = to
+		a.repl = bufs.repl
+		a.shards = bufs.shards
+		return nil
+	}
+	return a.alloc(to)
 }
 
 // Dist returns the current distribution.
@@ -183,17 +224,74 @@ func (a *Array) Set(s, l, c int, v float64) {
 }
 
 // scatterGlobal loads a full canonical array into the current shards.
+// The Block distributions take bulk-copy fast paths: a DChem shard is a
+// contiguous span of the canonical array, and a DTrans shard is one
+// contiguous species-x-layers run per cell.
 func (a *Array) scatterGlobal(global []float64) {
-	if a.d.Kind == dist.Replicated {
-		copy(a.repl, global)
-		return
-	}
 	sh := a.Shape
-	for c := 0; c < sh.Cells; c++ {
-		for l := 0; l < sh.Layers; l++ {
-			for s := 0; s < sh.Species; s++ {
-				n := a.owner(s, l, c)
-				a.shards[n][a.localOffset(n, s, l, c)] = global[sh.Index(s, l, c)]
+	p := a.rt.P()
+	switch {
+	case a.d.Kind == dist.Replicated:
+		copy(a.repl, global)
+	case a.d.Kind == dist.Block && a.d.Dim == dist.AxisCells:
+		blk := sh.Species * sh.Layers
+		for n := 0; n < p; n++ {
+			iv := dist.BlockOwner(sh.Cells, p, n)
+			copy(a.shards[n], global[blk*iv.Lo:blk*iv.Hi])
+		}
+	case a.d.Kind == dist.Block && a.d.Dim == dist.AxisLayers:
+		for n := 0; n < p; n++ {
+			iv := dist.BlockOwner(sh.Layers, p, n)
+			run := sh.Species * iv.Len()
+			shard := a.shards[n]
+			for c := 0; c < sh.Cells; c++ {
+				src := sh.Species * (iv.Lo + sh.Layers*c)
+				copy(shard[run*c:run*(c+1)], global[src:src+run])
+			}
+		}
+	default:
+		for c := 0; c < sh.Cells; c++ {
+			for l := 0; l < sh.Layers; l++ {
+				for s := 0; s < sh.Species; s++ {
+					n := a.owner(s, l, c)
+					a.shards[n][a.localOffset(n, s, l, c)] = global[sh.Index(s, l, c)]
+				}
+			}
+		}
+	}
+}
+
+// gatherInto assembles the full canonical array into out (length
+// Shape.Len()), taking the same bulk-copy fast paths as scatterGlobal.
+func (a *Array) gatherInto(out []float64) {
+	sh := a.Shape
+	p := a.rt.P()
+	switch {
+	case a.d.Kind == dist.Replicated:
+		copy(out, a.repl)
+	case a.d.Kind == dist.Block && a.d.Dim == dist.AxisCells:
+		blk := sh.Species * sh.Layers
+		for n := 0; n < p; n++ {
+			iv := dist.BlockOwner(sh.Cells, p, n)
+			copy(out[blk*iv.Lo:blk*iv.Hi], a.shards[n])
+		}
+	case a.d.Kind == dist.Block && a.d.Dim == dist.AxisLayers:
+		for n := 0; n < p; n++ {
+			iv := dist.BlockOwner(sh.Layers, p, n)
+			run := sh.Species * iv.Len()
+			shard := a.shards[n]
+			for c := 0; c < sh.Cells; c++ {
+				dst := sh.Species * (iv.Lo + sh.Layers*c)
+				copy(out[dst:dst+run], shard[run*c:run*(c+1)])
+			}
+		}
+	default:
+		for c := 0; c < sh.Cells; c++ {
+			for l := 0; l < sh.Layers; l++ {
+				for s := 0; s < sh.Species; s++ {
+					n := a.owner(s, l, c)
+					out[sh.Index(s, l, c)] = a.shards[n][a.localOffset(n, s, l, c)]
+				}
 			}
 		}
 	}
@@ -202,20 +300,8 @@ func (a *Array) scatterGlobal(global []float64) {
 // Gather assembles the full canonical array (an inspection helper; it does
 // not charge communication).
 func (a *Array) Gather() []float64 {
-	sh := a.Shape
-	out := make([]float64, sh.Len())
-	if a.d.Kind == dist.Replicated {
-		copy(out, a.repl)
-		return out
-	}
-	for c := 0; c < sh.Cells; c++ {
-		for l := 0; l < sh.Layers; l++ {
-			for s := 0; s < sh.Species; s++ {
-				n := a.owner(s, l, c)
-				out[sh.Index(s, l, c)] = a.shards[n][a.localOffset(n, s, l, c)]
-			}
-		}
-	}
+	out := make([]float64, a.Shape.Len())
+	a.gatherInto(out)
 	return out
 }
 
@@ -237,19 +323,32 @@ func (a *Array) Redistribute(to dist.Dist) (*dist.Plan, error) {
 // driver keeps its stage arrays on stage subgroups throughout.
 func (a *Array) RedistributeOn(nodes []int, to dist.Dist) (*dist.Plan, error) {
 	prof := a.rt.VM.Profile()
-	plan, err := dist.NewPlan(a.Shape, a.d, to, len(nodes), prof.WordSize)
-	if err != nil {
-		return nil, err
+	key := planKey{from: a.d, to: to, nodes: len(nodes)}
+	plan, ok := a.plans[key]
+	if !ok {
+		var err error
+		plan, err = dist.NewPlan(a.Shape, a.d, to, len(nodes), prof.WordSize)
+		if err != nil {
+			return nil, err
+		}
+		if a.plans == nil {
+			a.plans = make(map[planKey]*dist.Plan)
+		}
+		a.plans[key] = plan
 	}
-	// Physical move: gather via the old distribution, reallocate, load.
+	// Physical move: gather via the old distribution into the staging
+	// buffer, swap to the target distribution's parked storage, load.
 	// (The virtual cost is the plan's; the host-side implementation is
 	// free to be simple.)
 	if a.d != to {
-		global := a.Gather()
-		if err := a.alloc(to); err != nil {
+		if a.globalBuf == nil {
+			a.globalBuf = make([]float64, a.Shape.Len())
+		}
+		a.gatherInto(a.globalBuf)
+		if err := a.swapTo(to); err != nil {
 			return nil, err
 		}
-		a.scatterGlobal(global)
+		a.scatterGlobal(a.globalBuf)
 	}
 	for i, n := range nodes {
 		cost := plan.Traffic[i].Cost(prof)
@@ -367,10 +466,13 @@ func (rt *Runtime) ParallelGroup(nodes []int, cat vm.Category, body func(node in
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 		for i, n := range nodes {
+			// Acquire before spawning: with 128 virtual nodes the old
+			// spawn-then-acquire order created 128 live goroutines no
+			// matter how many cores the host has.
+			sem <- struct{}{}
 			wg.Add(1)
 			go func(i, n int) {
 				defer wg.Done()
-				sem <- struct{}{}
 				defer func() { <-sem }()
 				flops[i], errs[i] = body(n)
 			}(i, n)

@@ -117,6 +117,14 @@ type Options struct {
 	// GoParallel enables host goroutine parallelism inside each run (it
 	// does not affect results, only wall time).
 	GoParallel bool
+	// HostWorkers selects each run's host execution engine, with
+	// core.Config.HostWorkers semantics: 0 shares the process-wide
+	// GOMAXPROCS pool across all concurrent jobs (the default — total
+	// host parallelism stays at the machine size no matter how many
+	// jobs run), > 0 gives every job its own dedicated pool of that
+	// size, < 0 uses the legacy per-virtual-node goroutine path. Does
+	// not affect results.
+	HostWorkers int
 	// Store, when non-nil, backs the scheduler with a persistent
 	// artifact store: completed results survive process restarts, and
 	// runs warm-start from stored checkpoints of matching physics

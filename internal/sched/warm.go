@@ -41,6 +41,7 @@ func (s *Scheduler) executeJob(ctx context.Context, spec scenario.Spec) (res *co
 		return nil, 0, false, err
 	}
 	cfg.GoParallel = s.opts.GoParallel
+	cfg.HostWorkers = s.opts.HostWorkers
 	if s.opts.Store == nil {
 		res, err = core.RunContext(ctx, cfg)
 		return res, 0, false, err

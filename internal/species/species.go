@@ -246,18 +246,28 @@ func (m *Mechanism) ProdLoss(c, k, P, L []float64) {
 	if len(c) != n || len(P) != n || len(L) != n {
 		panic("species: ProdLoss buffer size mismatch")
 	}
-	for i := 0; i < n; i++ {
-		P[i] = 0
-		L[i] = 0
-	}
+	clear(P[:n])
+	clear(L[:n])
+	// Local aliases of the compiled tables keep the hot loop free of
+	// pointer chases through m, and reslicing k to the reaction count up
+	// front lets the compiler drop the per-iteration bounds checks. The
+	// iteration and accumulation order is exactly the naive loop's —
+	// ProdLoss feeds a bit-identity guarantee, so only the instruction
+	// stream may change here, never the float operation order.
+	rxnX, rxnY := m.rxnX, m.rxnY
+	prodOff, prodEnd := m.prodOff, m.prodEnd
 	prodSpec, prodYield := m.prodSpec, m.prodYield
-	for ri := range m.rxnX {
+	k = k[:len(rxnX)]
+	rxnY = rxnY[:len(rxnX)]
+	prodOff = prodOff[:len(rxnX)]
+	prodEnd = prodEnd[:len(rxnX)]
+	for ri := range rxnX {
 		kr := k[ri]
 		if kr == 0 {
 			continue
 		}
-		x := m.rxnX[ri]
-		y := m.rxnY[ri]
+		x := rxnX[ri]
+		y := rxnY[ri]
 		var rate float64
 		switch {
 		case y < 0:
@@ -276,7 +286,7 @@ func (m *Mechanism) ProdLoss(c, k, P, L []float64) {
 		if rate == 0 {
 			continue
 		}
-		for i := m.prodOff[ri]; i < m.prodEnd[ri]; i++ {
+		for i := prodOff[ri]; i < prodEnd[ri]; i++ {
 			P[prodSpec[i]] += prodYield[i] * rate
 		}
 	}

@@ -1,0 +1,48 @@
+package transport
+
+import (
+	"testing"
+
+	"airshed/internal/grid"
+)
+
+// TestStepFieldNZeroAlloc pins the steady-state allocation behaviour of
+// the transport hot path: Prepare and StepFieldN run once per layer per
+// species per time step and must reuse the operator's own coefficient
+// and flux buffers rather than allocate.
+func TestStepFieldNZeroAlloc(t *testing.T) {
+	g, err := grid.New(40e3, 40e3, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RefineNear(20e3, 20e3, 2, 52)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	op, err := New2D(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := g.NumCells()
+	env := &Env{U: make([]float64, nc), V: make([]float64, nc), KH: 50, Inflow: 0.03}
+	for i := 0; i < nc; i++ {
+		env.U[i] = 2.0
+		env.V[i] = -1.0
+	}
+	c := make([]float64, nc)
+	for i := range c {
+		c[i] = 0.05
+	}
+	step := func() {
+		if _, err := op.Prepare(env); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := op.StepFieldN(c, env, 30, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // warm up
+	if avg := testing.AllocsPerRun(20, step); avg != 0 {
+		t.Errorf("Prepare+StepFieldN allocates %.1f objects per call in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Benchmark comparison harness for the host execution engine work: runs
+# the paper-figure and kernel benchmarks at a base ref and at the
+# working tree, prints a benchstat comparison when benchstat is on PATH
+# (plain per-benchmark deltas otherwise), and emits BENCH_hostengine.json
+# with mean old/new ns/op and allocs/op per benchmark.
+#
+# Usage:
+#
+#   scripts/bench_compare.sh [base-ref]        # default: HEAD~1
+#
+# Environment:
+#
+#   BENCH     benchmark regex   (default: figures + replay + hot kernels)
+#   COUNT     -count per bench  (default 5)
+#   BENCHTIME -benchtime        (default 1s)
+#   OUT       JSON output path  (default BENCH_hostengine.json)
+#
+# The base ref is materialised in a temporary git worktree inside the
+# repository (.bench_base) so the comparison never touches the working
+# tree; the worktree is removed on exit. Dependency-light on purpose:
+# bash, git, go, awk.
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel)"
+
+BASE_REF="${1:-HEAD~1}"
+BENCH="${BENCH:-BenchmarkFig2_MachinesLA|BenchmarkFig4_Components|BenchmarkReplayLA24|BenchmarkChemistryColumn|BenchmarkYoungBoris|BenchmarkRedistributeData|BenchmarkMiniHourPhysical}"
+COUNT="${COUNT:-5}"
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_hostengine.json}"
+
+WORKTREE=".bench_base"
+TMP="$(mktemp -d)"
+cleanup() {
+  git worktree remove --force "$WORKTREE" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+BASE_SHA="$(git rev-parse --short "$BASE_REF")"
+HEAD_SHA="$(git rev-parse --short HEAD)"
+if [ -n "$(git status --porcelain)" ]; then HEAD_SHA="$HEAD_SHA+dirty"; fi
+echo "== base $BASE_SHA  vs  head $HEAD_SHA (working tree)"
+echo "== bench: $BENCH (count=$COUNT, benchtime=$BENCHTIME)"
+
+git worktree remove --force "$WORKTREE" 2>/dev/null || true
+git worktree add --detach "$WORKTREE" "$BASE_REF" >/dev/null
+
+run_bench() { # dir outfile
+  (cd "$1" && go test -run '^$' -bench "$BENCH" -benchmem \
+    -count "$COUNT" -benchtime "$BENCHTIME" .) | tee "$2"
+}
+
+echo "== benchmarking base ($BASE_SHA)"
+run_bench "$WORKTREE" "$TMP/old.txt"
+echo "== benchmarking head ($HEAD_SHA)"
+run_bench . "$TMP/new.txt"
+
+if command -v benchstat >/dev/null 2>&1; then
+  echo "== benchstat"
+  benchstat "$TMP/old.txt" "$TMP/new.txt"
+else
+  echo "== benchstat not installed; emitting mean deltas only"
+fi
+
+# Mean ns/op and allocs/op per benchmark from `go test -bench` output.
+bench_means() { # file
+  awk '$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns[name] += $3; runs[name]++
+    for (i = 5; i < NF; i++) if ($(i+1) == "allocs/op") al[name] += $(i)
+  }
+  END { for (n in ns) printf "%s %.1f %.2f\n", n, ns[n]/runs[n], al[n]/runs[n] }' "$1"
+}
+
+bench_means "$TMP/old.txt" | sort > "$TMP/old.means"
+bench_means "$TMP/new.txt" | sort > "$TMP/new.means"
+
+join "$TMP/old.means" "$TMP/new.means" | awk \
+  -v base="$BASE_SHA" -v head="$HEAD_SHA" \
+  -v gomaxprocs="$(nproc 2>/dev/null || echo 1)" \
+  -v goversion="$(go env GOVERSION)" '
+  BEGIN {
+    printf "{\n  \"base\": \"%s\",\n  \"head\": \"%s\",\n", base, head
+    printf "  \"go\": \"%s\",\n  \"gomaxprocs\": %d,\n  \"benchmarks\": [", goversion, gomaxprocs
+    sep = ""
+  }
+  {
+    delta = ($2 > 0) ? 100 * ($4 - $2) / $2 : 0
+    printf "%s\n    {\"name\": \"%s\", \"old_ns_op\": %s, \"new_ns_op\": %s, \"old_allocs_op\": %s, \"new_allocs_op\": %s, \"delta_pct\": %.1f}", \
+      sep, $1, $2, $4, $3, $5, delta
+    sep = ","
+  }
+  END { print "\n  ]\n}" }' > "$OUT"
+
+echo "== wrote $OUT"
