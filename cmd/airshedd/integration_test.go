@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"airshed/internal/resilience"
+)
+
+// buildDaemon compiles the airshedd binary once for the integration
+// tests and returns its path.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "airshedd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDaemon launches the built binary and waits for /healthz.
+func startDaemon(t *testing.T, bin, addr, storeDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-store", storeDir, "-workers", "1", "-queue", "16")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return cmd
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatal("daemon never became healthy")
+	return nil
+}
+
+func submitTo(t *testing.T, addr, body string) string {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/v1/runs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	var sr submitResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatalf("bad submit response %q: %v", raw, err)
+	}
+	return sr.ID
+}
+
+// TestKillDashNineRecoversJournal is the crash-recovery acceptance
+// test: accepted-but-unfinished jobs survive a SIGKILL in the WAL
+// journal and a restarted daemon re-submits and finishes them.
+func TestKillDashNineRecoversJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon")
+	}
+	bin := buildDaemon(t)
+	storeDir := t.TempDir()
+	wal := filepath.Join(storeDir, "journal.wal")
+
+	// Generation 1: accept work on a single worker, then die mid-queue.
+	// hours=2 keeps each run slow enough that the queue cannot drain
+	// before the kill.
+	addr := freeAddr(t)
+	daemon := startDaemon(t, bin, addr, storeDir)
+	specs := []string{
+		`{"dataset":"mini","machine":"t3e","nodes":1,"hours":2}`,
+		`{"dataset":"mini","machine":"t3e","nodes":2,"hours":2}`,
+		`{"dataset":"mini","machine":"t3e","nodes":4,"hours":2}`,
+	}
+	for _, body := range specs {
+		submitTo(t, addr, body)
+	}
+	// Submit returned, so every acceptance is fsynced in the WAL. Kill
+	// without ceremony.
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemon.Wait()
+
+	pending, err := resilience.ReadJournal(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) == 0 {
+		t.Fatal("journal lost the accepted jobs across SIGKILL")
+	}
+	t.Logf("journal holds %d unfinished jobs after kill -9", len(pending))
+
+	// Generation 2: the restarted daemon replays the journal and runs
+	// the jobs to completion, draining the WAL.
+	addr2 := freeAddr(t)
+	daemon2 := startDaemon(t, bin, addr2, storeDir)
+	defer func() {
+		daemon2.Process.Signal(syscall.SIGTERM)
+		daemon2.Wait()
+	}()
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		p, err := resilience.ReadJournal(wal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never drained: %d jobs still pending", len(p))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Every killed scenario is now served from the recovered daemon's
+	// store or cache — completed work, not just a clean journal.
+	for _, body := range specs {
+		id := submitTo(t, addr2, body)
+		stDeadline := time.Now().Add(time.Minute)
+		for {
+			resp, err := http.Get(fmt.Sprintf("http://%s/v1/runs/%s", addr2, id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st statusResponse
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State == "done" {
+				break
+			}
+			if st.State == "failed" || st.State == "cancelled" {
+				t.Fatalf("recovered scenario %s: %s (%s)", body, st.State, st.Error)
+			}
+			if time.Now().After(stDeadline) {
+				t.Fatalf("recovered scenario %s stuck in %s", body, st.State)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}

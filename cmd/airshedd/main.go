@@ -35,16 +35,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
+	"airshed/internal/resilience"
+	"airshed/internal/scenario"
 	"airshed/internal/sched"
 	"airshed/internal/store"
 )
@@ -69,6 +73,8 @@ func run() error {
 		storeMB      = flag.Int64("store-mb", 2048, "artifact store size cap in MiB (<= 0 unlimited)")
 		hostWorkers  = flag.Int("host-workers", 0, "host engine workers per job (0 = shared GOMAXPROCS pool, <0 = legacy per-node goroutines)")
 		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+		journalPath  = flag.String("journal", "", "crash-recovery journal file (default <store>/journal.wal when -store is set; \"off\" disables)")
+		retries      = flag.Int("retries", 3, "attempts per job for transiently-failed runs (1 = no retries)")
 	)
 	flag.Parse()
 
@@ -81,6 +87,27 @@ func run() error {
 		fmt.Printf("airshedd: artifact store at %s (%d entries, %.1f MiB)\n",
 			artifacts.Dir(), artifacts.Len(), float64(artifacts.Bytes())/(1<<20))
 	}
+
+	// Crash-recovery journal: accepted-but-unfinished jobs are WAL-logged
+	// next to the store and re-submitted after a crash or kill -9.
+	var journal *resilience.Journal
+	switch {
+	case *journalPath == "off":
+	case *journalPath != "":
+		var err error
+		if journal, err = resilience.OpenJournal(*journalPath); err != nil {
+			return err
+		}
+	case *storeDir != "":
+		var err error
+		if journal, err = resilience.OpenJournal(filepath.Join(*storeDir, "journal.wal")); err != nil {
+			return err
+		}
+	}
+	if journal != nil {
+		defer journal.Close()
+	}
+
 	scheduler := sched.New(sched.Options{
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
@@ -90,8 +117,21 @@ func run() error {
 		GoParallel:   true,
 		HostWorkers:  *hostWorkers,
 		Store:        artifacts,
+		Retry:        resilience.RetryPolicy{MaxAttempts: *retries, Jitter: 0.5},
+		Journal:      journal,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newServer(scheduler, artifacts, *pprofFlag).handler()}
+	replayJournal(journal, scheduler)
+
+	// Conservative edge timeouts: slow-header clients are cut off, idle
+	// keep-alives bounded. No WriteTimeout — /debug/pprof/profile
+	// legitimately streams for 30s.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(scheduler, artifacts, *pprofFlag).handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -123,4 +163,34 @@ func run() error {
 	}
 	fmt.Println("airshedd: drained, bye")
 	return nil
+}
+
+// replayJournal re-submits the journal's accepted-but-unfinished jobs
+// from before a crash. Each re-submission journals itself under a fresh
+// job ID (or resolves instantly from the store if the old process
+// finished the run before dying), after which the stale entry retires.
+// Jobs the scheduler rejects (queue full) stay pending for the next
+// restart.
+func replayJournal(journal *resilience.Journal, scheduler *sched.Scheduler) {
+	if journal == nil {
+		return
+	}
+	pending := journal.Pending()
+	if len(pending) == 0 {
+		return
+	}
+	resubmitted := 0
+	for id, payload := range pending {
+		var spec scenario.Spec
+		if err := json.Unmarshal(payload, &spec); err != nil {
+			_ = journal.Done(id) // unreadable entry: nothing to recover
+			continue
+		}
+		if _, err := scheduler.Submit(spec); err != nil {
+			continue
+		}
+		resubmitted++
+		_ = journal.Done(id)
+	}
+	fmt.Printf("airshedd: journal: re-submitted %d of %d unfinished jobs\n", resubmitted, len(pending))
 }

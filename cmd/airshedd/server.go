@@ -20,6 +20,30 @@ import (
 	"airshed/internal/sweep"
 )
 
+// maxRequestBody bounds POST bodies; scenario and sweep specs are a few
+// hundred bytes, so 1 MiB is generous and still starves body floods.
+const maxRequestBody = 1 << 20
+
+// decodeBody strictly decodes a bounded JSON request body into v,
+// answering 413 for oversized bodies and 400 for bad JSON. Reports
+// whether decoding succeeded.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, what string) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("%s body exceeds %d bytes", what, tooBig.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad %s JSON: %v", what, err))
+		return false
+	}
+	return true
+}
+
 // server wires the scheduler and the analytic performance model behind
 // the HTTP API. It holds a trace cache for /v1/predict: the Section 4
 // model needs one recorded work trace per physics configuration
@@ -87,10 +111,7 @@ type submitResponse struct {
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec scenario.Spec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad scenario JSON: %v", err))
+	if !decodeBody(w, r, &spec, "scenario") {
 		return
 	}
 	st, err := s.sched.Submit(spec)
@@ -121,10 +142,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // policy table.
 func (s *server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	var req sweep.Request
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad sweep JSON: %v", err))
+	if !decodeBody(w, r, &req, "sweep") {
 		return
 	}
 	st, err := s.sweeps.Start(req)
@@ -159,6 +177,8 @@ type statusResponse struct {
 	FromStore      bool               `json:"from_store,omitempty"`
 	WarmStartHour  int                `json:"warm_start_hour,omitempty"`
 	PhysicsReplay  bool               `json:"physics_replay,omitempty"`
+	Attempts       int                `json:"attempts,omitempty"`
+	LastError      string             `json:"last_error,omitempty"`
 	Error          string             `json:"error,omitempty"`
 	WallSeconds    float64            `json:"wall_seconds,omitempty"`
 	VirtualSeconds float64            `json:"virtual_seconds,omitempty"`
@@ -180,8 +200,12 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		FromStore:      st.FromStore,
 		WarmStartHour:  st.WarmStartHour,
 		PhysicsReplay:  st.PhysicsReplay,
+		Attempts:       st.Attempts,
 		WallSeconds:    st.WallSeconds,
 		VirtualSeconds: st.VirtualSeconds,
+	}
+	if st.LastErr != nil {
+		resp.LastError = st.LastErr.Error()
 	}
 	if st.Err != nil {
 		resp.Error = st.Err.Error()
@@ -327,9 +351,23 @@ func (s *server) storedTrace(spec scenario.Spec) *core.Trace {
 	return tr
 }
 
+// healthResponse reports liveness plus degradation: the daemon keeps
+// serving (compute-only) while the store's circuit breaker is open, and
+// /healthz says so without failing the liveness probe.
+type healthResponse struct {
+	Status string `json:"status"`          // "ok" or "degraded"
+	Store  string `json:"store,omitempty"` // breaker state when -store is set
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	h := healthResponse{Status: "ok"}
+	if s.store != nil {
+		h.Store = s.store.Breaker().State().String()
+		if s.store.Degraded() {
+			h.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // handleMetrics dumps the scheduler counters in the classic
@@ -353,6 +391,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "airshedd_store_result_hits_total %d\n", c.StoreHits)
 	fmt.Fprintf(w, "airshedd_warm_starts_total %d\n", c.WarmStarts)
 	fmt.Fprintf(w, "airshedd_physics_replays_total %d\n", c.PhysicsReplays)
+	fmt.Fprintf(w, "airshedd_jobs_retries_total %d\n", c.Retries)
+	fmt.Fprintf(w, "airshedd_jobs_panics_total %d\n", c.Panics)
 	if s.store != nil {
 		sc := s.store.Counters()
 		fmt.Fprintf(w, "airshedd_store_hits_total %d\n", sc.Hits)
@@ -361,6 +401,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "airshedd_store_evictions_total %d\n", sc.Evictions)
 		fmt.Fprintf(w, "airshedd_store_entries %d\n", sc.Entries)
 		fmt.Fprintf(w, "airshedd_store_bytes %d\n", sc.Bytes)
+		fmt.Fprintf(w, "airshedd_store_faults_total %d\n", sc.Faults)
+		fmt.Fprintf(w, "airshedd_store_degraded_ops_total %d\n", sc.DegradedOps)
+		fmt.Fprintf(w, "airshedd_store_temps_swept_total %d\n", sc.TempsSwept)
+		br := s.store.Breaker()
+		fmt.Fprintf(w, "airshedd_store_breaker_state %d\n", int(br.State()))
+		fmt.Fprintf(w, "airshedd_store_breaker_trips_total %d\n", br.Trips())
+		degraded := 0
+		if s.store.Degraded() {
+			degraded = 1
+		}
+		fmt.Fprintf(w, "airshedd_store_degraded %d\n", degraded)
 	}
 	// Host execution engine gauges. Jobs run on the process-wide shared
 	// engine unless -host-workers pins dedicated per-job pools, so these
@@ -372,6 +423,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "airshedd_engine_chunk_queue_depth %d\n", es.Queued)
 	fmt.Fprintf(w, "airshedd_engine_chunks_total %d\n", es.Chunks)
 	fmt.Fprintf(w, "airshedd_engine_runs_total %d\n", es.Runs)
+	fmt.Fprintf(w, "airshedd_engine_panics_total %d\n", es.Panics)
 }
 
 // intParam parses an integer query parameter; empty means def.

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"airshed/internal/resilience"
 	"airshed/internal/sched"
 	"airshed/internal/store"
 	"airshed/internal/sweep"
@@ -527,9 +528,16 @@ func TestHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(raw)) != "ok" {
-		t.Errorf("healthz: %d %q", resp.StatusCode, raw)
+	var h struct {
+		Status string `json:"status"`
+		Store  string `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	// No -store in this configuration: healthy, no breaker to report.
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Store != "" {
+		t.Errorf("healthz: %d %+v", resp.StatusCode, h)
 	}
 }
 
@@ -566,5 +574,110 @@ func TestEngineGaugesAndPprof(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("pprof cmdline: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestRequestBodyLimit sends oversized POST bodies to both submission
+// endpoints and expects 413 — a client cannot make the daemon buffer an
+// unbounded request.
+func TestRequestBodyLimit(t *testing.T) {
+	ts, _ := testServer(t, sched.Options{})
+
+	huge := `{"dataset":"` + strings.Repeat("x", maxRequestBody+1) + `"}`
+	for _, path := range []string{"/v1/runs", "/v1/sweeps"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s with %d-byte body: %d %s, want 413",
+				path, len(huge), resp.StatusCode, raw)
+		}
+	}
+
+	// A body exactly at the limit is still parsed (and rejected only on
+	// its content, not its size).
+	pad := strings.Repeat(" ", maxRequestBody-len(miniBody(2)))
+	if _, code := postRun(t, ts, miniBody(2)+pad); code != http.StatusAccepted && code != http.StatusOK {
+		t.Errorf("at-limit body rejected with %d", code)
+	}
+}
+
+// TestHealthzDegradedStore opens the store's breaker with injected
+// write faults and verifies the daemon's contract while degraded: runs
+// keep completing, /healthz reports "degraded" (still HTTP 200 — the
+// process is alive), and the metrics expose the breaker state.
+func TestHealthzDegradedStore(t *testing.T) {
+	inj := resilience.New(5).Set(resilience.PointStoreWrite, 1)
+	resilience.Enable(inj)
+	defer resilience.Disable()
+
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetBreaker(resilience.NewBreaker(1, time.Hour))
+	ts, _ := testServer(t, sched.Options{Workers: 1, Store: st})
+
+	sr, code := postRun(t, ts, miniBody(2))
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d", code)
+	}
+	if final := waitDone(t, ts, sr.ID); final.State != "done" {
+		t.Fatalf("run under store outage: %s (%s)", final.State, final.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded healthz must stay 200 (liveness), got %d", resp.StatusCode)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Store != "open" {
+		t.Errorf("healthz = %+v, want status degraded / store open", h)
+	}
+
+	if v := metric(t, ts, "airshedd_store_degraded"); v != 1 {
+		t.Errorf("airshedd_store_degraded = %d, want 1", v)
+	}
+	if v := metric(t, ts, "airshedd_store_faults_total"); v < 1 {
+		t.Errorf("airshedd_store_faults_total = %d, want >= 1", v)
+	}
+	if v := metric(t, ts, "airshedd_store_breaker_trips_total"); v != 1 {
+		t.Errorf("airshedd_store_breaker_trips_total = %d, want 1", v)
+	}
+}
+
+// TestRetryCountersSurfaceInAPI fails the first execution attempt and
+// checks the retry shows up in the status response and /metrics.
+func TestRetryCountersSurfaceInAPI(t *testing.T) {
+	inj := resilience.New(9).SetLimited(resilience.PointSchedExec, 1, 1)
+	resilience.Enable(inj)
+	defer resilience.Disable()
+
+	ts, _ := testServer(t, sched.Options{Workers: 1, Retry: resilience.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: 0.5,
+	}})
+	sr, _ := postRun(t, ts, miniBody(2))
+	final := waitDone(t, ts, sr.ID)
+	if final.State != "done" {
+		t.Fatalf("job did not recover: %s (%s)", final.State, final.Error)
+	}
+	if final.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", final.Attempts)
+	}
+	if final.LastError == "" {
+		t.Error("last_error not surfaced after a retried run")
+	}
+	if v := metric(t, ts, "airshedd_jobs_retries_total"); v != 1 {
+		t.Errorf("airshedd_jobs_retries_total = %d, want 1", v)
 	}
 }

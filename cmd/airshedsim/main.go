@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 
 	"airshed/internal/core"
 	"airshed/internal/report"
+	"airshed/internal/resilience"
 	"airshed/internal/scenario"
 )
 
@@ -52,6 +54,12 @@ func run() error {
 		workers  = flag.Int("workers", 0, "host engine workers (0 = shared GOMAXPROCS pool, <0 = legacy per-node goroutines)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile after the run to this file")
+
+		// Fault-injection knobs for resilience testing: a fixed seed and
+		// rate reproduce the exact same fault schedule every invocation.
+		faultSeed    = flag.Uint64("fault-seed", 0, "deterministic fault-injection seed (with -fault-rate)")
+		faultRate    = flag.Float64("fault-rate", 0, "inject transient faults at hour-I/O points with this probability (0 disables)")
+		faultRetries = flag.Int("fault-retries", 3, "attempts per run under injected faults (1 = no retries)")
 	)
 	flag.Parse()
 
@@ -111,17 +119,38 @@ func run() error {
 		fmt.Printf("Airshed: %s data set %v, %s, %d nodes, %d hours, %s\n",
 			cfg.Dataset.Name, cfg.Dataset.Shape, cfg.Machine.Name, cfg.Nodes, cfg.Hours, cfg.Mode)
 	}
-	var res *core.Result
-	if *restart != "" {
-		if !*jsonOut {
-			fmt.Printf("resuming from snapshot %s\n", *restart)
+	if *faultRate > 0 {
+		inj := resilience.New(*faultSeed)
+		for _, pt := range []string{resilience.PointHourRead, resilience.PointHourWrite} {
+			inj.Set(pt, *faultRate)
 		}
-		res, err = core.Restart(*restart, cfg)
-	} else {
-		res, err = core.Run(cfg)
+		resilience.Enable(inj)
+		defer resilience.Disable()
+		if !*jsonOut {
+			fmt.Printf("fault injection: seed %d, rate %.3f at hour-I/O points, %d attempts\n",
+				*faultSeed, *faultRate, *faultRetries)
+		}
 	}
+
+	var res *core.Result
+	runOnce := func() error {
+		if *restart != "" {
+			if !*jsonOut {
+				fmt.Printf("resuming from snapshot %s\n", *restart)
+			}
+			res, err = core.Restart(*restart, cfg)
+		} else {
+			res, err = core.Run(cfg)
+		}
+		return err
+	}
+	policy := resilience.RetryPolicy{MaxAttempts: *faultRetries, Jitter: 0.5, Seed: *faultSeed}
+	attempts, err := resilience.Retry(context.Background(), policy, resilience.HashKey(spec.Hash()), runOnce)
 	if err != nil {
 		return err
+	}
+	if attempts > 1 && !*jsonOut {
+		fmt.Printf("run succeeded on attempt %d after transient faults\n", attempts)
 	}
 
 	if *jsonOut {

@@ -14,6 +14,7 @@ import (
 	"airshed/internal/fx"
 	"airshed/internal/hourio"
 	"airshed/internal/meteo"
+	"airshed/internal/resilience"
 	"airshed/internal/transport"
 	"airshed/internal/vm"
 )
@@ -256,9 +257,11 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		// --- inputhour: sequential I/O processing on node 0 ---
+		// Hour-I/O stage failures are environmental, not physics: a
+		// retry of the whole job can cure them.
 		inBytes, err := hourio.WriteHourInput(io.Discard, in)
 		if err != nil {
-			return nil, err
+			return nil, resilience.MarkTransient(fmt.Errorf("core: inputhour %d: %w", hour, err))
 		}
 		s.vm.ChargeIO(0, inBytes)
 
@@ -351,7 +354,7 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		}
 		outBytes, err := s.writeSnapshot(hour, repl)
 		if err != nil {
-			return nil, err
+			return nil, resilience.MarkTransient(fmt.Errorf("core: outputhour %d: %w", hour, err))
 		}
 		s.vm.ChargeIO(0, outBytes)
 		s.vm.Barrier()
@@ -713,12 +716,12 @@ func RestartContext(ctx context.Context, snapshotPath string, cfg Config) (*Resu
 	}
 	f, err := os.Open(snapshotPath)
 	if err != nil {
-		return nil, err
+		return nil, resilience.MarkTransient(err)
 	}
 	hour, ns, nl, nc, conc, _, err := hourio.ReadSnapshot(f)
 	f.Close()
 	if err != nil {
-		return nil, err
+		return nil, resilience.MarkTransient(fmt.Errorf("core: restart snapshot: %w", err))
 	}
 	sh := cfg.Dataset.Shape
 	if ns != sh.Species || nl != sh.Layers || nc != sh.Cells {

@@ -3,8 +3,11 @@ package fx
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"airshed/internal/resilience"
 )
 
 // Engine is the host execution engine: a fixed pool of worker goroutines
@@ -38,6 +41,7 @@ type Engine struct {
 	queued atomic.Int64 // chunks waiting in the queue
 	chunks atomic.Int64 // chunks executed since creation
 	runs   atomic.Int64 // Run calls completed since creation
+	panics atomic.Int64 // chunk panics contained since creation
 }
 
 // chunk is one scheduled span of a Run call.
@@ -85,13 +89,31 @@ func (e *Engine) worker(w int) {
 	for c := range e.queue {
 		e.queued.Add(-1)
 		e.active.Add(1)
-		if err := c.fn(w, c.lo, c.hi); err != nil {
+		if err := e.runChunk(w, c); err != nil {
 			c.state.errs[c.slot] = err
 		}
 		e.active.Add(-1)
 		e.chunks.Add(1)
 		c.state.wg.Done()
 	}
+}
+
+// runChunk executes one chunk body with panic containment: a panicking
+// kernel becomes a deterministic per-slot PanicError (the job fails, the
+// pool survives) instead of killing the process. The recover lives here,
+// inside the per-chunk frame, so the completion barrier above always
+// fires.
+func (e *Engine) runChunk(w int, c chunk) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+			err = resilience.NewPanicError(r, debug.Stack())
+		}
+	}()
+	if err := resilience.Fire(resilience.PointFxChunk); err != nil {
+		return err
+	}
+	return c.fn(w, c.lo, c.hi)
 }
 
 // Workers returns the pool size.
@@ -151,6 +173,8 @@ type EngineStats struct {
 	Chunks int64
 	// Runs counts completed Run calls (phases) since the engine started.
 	Runs int64
+	// Panics counts chunk panics contained since the engine started.
+	Panics int64
 }
 
 // Stats snapshots the gauges; safe to call concurrently with Run.
@@ -161,6 +185,7 @@ func (e *Engine) Stats() EngineStats {
 		Queued:  int(e.queued.Load()),
 		Chunks:  e.chunks.Load(),
 		Runs:    e.runs.Load(),
+		Panics:  e.panics.Load(),
 	}
 }
 

@@ -4,9 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"airshed/internal/resilience"
+	"airshed/internal/vm"
 )
 
 // TestEngineCoversItemSpace checks that Run visits every item exactly
@@ -153,5 +157,71 @@ func TestSharedEngine(t *testing.T) {
 	if a.Workers() != runtime.GOMAXPROCS(0) {
 		t.Errorf("shared engine workers = %d, want GOMAXPROCS %d",
 			a.Workers(), runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestEnginePanicContained panics inside a chunk body and asserts the
+// containment contract: Run returns a PanicError carrying the stack,
+// the panic gauge moves, and the pool keeps executing afterwards.
+func TestEnginePanicContained(t *testing.T) {
+	e := NewEngine(3)
+	defer e.Close()
+
+	err := e.Run(64, func(w, lo, hi int) error {
+		if lo == 0 {
+			panic("kernel exploded")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panicking chunk returned nil")
+	}
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not carry the PanicError", err)
+	}
+	if pe.Value != "kernel exploded" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("contained panic lost its stack")
+	}
+	if got := e.Stats().Panics; got != 1 {
+		t.Errorf("panic gauge = %d, want 1", got)
+	}
+
+	// Every worker survived: a full run still covers the item space.
+	var visited atomic.Int64
+	if err := e.Run(100, func(w, lo, hi int) error {
+		visited.Add(int64(hi - lo))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visited.Load() != 100 {
+		t.Errorf("post-panic run covered %d of 100 items", visited.Load())
+	}
+}
+
+// TestParallelNodesPanicContained panics one node body (on both the
+// concurrent and serial paths) and asserts the group converts it to
+// that node's error slot instead of dying.
+func TestParallelNodesPanicContained(t *testing.T) {
+	for _, goPar := range []bool{true, false} {
+		rt := newRT(t, 4)
+		rt.GoParallel = goPar
+		err := rt.ParallelNodes(vm.CatOther, func(node int) (float64, error) {
+			if node == 2 {
+				panic(fmt.Sprintf("node %d exploded", node))
+			}
+			return 0, nil
+		})
+		var pe *resilience.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("goParallel=%v: error %v does not carry the PanicError", goPar, err)
+		}
+		if !strings.Contains(err.Error(), "node 2") {
+			t.Errorf("goParallel=%v: panic not attributed to its node: %v", goPar, err)
+		}
 	}
 }

@@ -13,9 +13,11 @@ package fx
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"airshed/internal/dist"
+	"airshed/internal/resilience"
 	"airshed/internal/vm"
 )
 
@@ -462,6 +464,17 @@ func (rt *Runtime) ParallelNodes(cat vm.Category, body func(node int) (float64, 
 func (rt *Runtime) ParallelGroup(nodes []int, cat vm.Category, body func(node int) (float64, error)) error {
 	flops := make([]float64, len(nodes))
 	errs := make([]error, len(nodes))
+	// A panicking node body becomes that node's deterministic error slot
+	// instead of killing the process (parallel path) or unwinding through
+	// the scheduler (serial path).
+	run := func(i, n int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = resilience.NewPanicError(r, debug.Stack())
+			}
+		}()
+		flops[i], errs[i] = body(n)
+	}
 	if rt.GoParallel {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -474,13 +487,13 @@ func (rt *Runtime) ParallelGroup(nodes []int, cat vm.Category, body func(node in
 			go func(i, n int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				flops[i], errs[i] = body(n)
+				run(i, n)
 			}(i, n)
 		}
 		wg.Wait()
 	} else {
 		for i, n := range nodes {
-			flops[i], errs[i] = body(n)
+			run(i, n)
 		}
 	}
 	for i, err := range errs {

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"airshed/internal/meteo"
+	"airshed/internal/resilience"
 )
 
 // Magic identifies Airshed hour files.
@@ -47,6 +48,9 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // WriteHourInput serialises an hour input. It returns the number of bytes
 // written (the volume the I/O phase is charged for).
 func WriteHourInput(w io.Writer, in *meteo.HourInput) (int64, error) {
+	if err := resilience.Fire(resilience.PointHourWrite); err != nil {
+		return 0, fmt.Errorf("hourio: %w", err)
+	}
 	bw := bufio.NewWriter(w)
 	cw := &countingWriter{w: bw}
 	if _, err := cw.Write([]byte(Magic)); err != nil {
@@ -124,6 +128,9 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 // ReadHourInput deserialises an hour input, verifying the magic and the
 // checksum. It returns the input and the number of bytes read.
 func ReadHourInput(r io.Reader) (*meteo.HourInput, int64, error) {
+	if err := resilience.Fire(resilience.PointHourRead); err != nil {
+		return nil, 0, fmt.Errorf("hourio: %w", err)
+	}
 	cr := &countingReader{r: bufio.NewReader(r)}
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(cr, magic); err != nil {
@@ -217,6 +224,9 @@ func WriteSnapshot(w io.Writer, hour, ns, nl, ncells int, conc []float64) (int64
 	if len(conc) != ns*nl*ncells {
 		return 0, fmt.Errorf("hourio: snapshot has %d values, want %d", len(conc), ns*nl*ncells)
 	}
+	if err := resilience.Fire(resilience.PointHourWrite); err != nil {
+		return 0, fmt.Errorf("hourio: %w", err)
+	}
 	bw := bufio.NewWriter(w)
 	cw := &countingWriter{w: bw}
 	if _, err := cw.Write([]byte(Magic)); err != nil {
@@ -247,6 +257,9 @@ func WriteSnapshot(w io.Writer, hour, ns, nl, ncells int, conc []float64) (int64
 
 // ReadSnapshot deserialises a concentration snapshot.
 func ReadSnapshot(r io.Reader) (hour, ns, nl, ncells int, conc []float64, bytes int64, err error) {
+	if err = resilience.Fire(resilience.PointHourRead); err != nil {
+		return 0, 0, 0, 0, nil, 0, fmt.Errorf("hourio: %w", err)
+	}
 	cr := &countingReader{r: bufio.NewReader(r)}
 	magic := make([]byte, len(Magic))
 	if _, err = io.ReadFull(cr, magic); err != nil {

@@ -9,6 +9,7 @@ import (
 	"airshed/internal/chemistry"
 	"airshed/internal/grid"
 	"airshed/internal/meteo"
+	"airshed/internal/resilience"
 	"airshed/internal/species"
 )
 
@@ -158,6 +159,55 @@ func TestSnapshotValidation(t *testing.T) {
 	data[len(data)-1] ^= 0x01 // corrupt the checksum
 	if _, _, _, _, _, _, err := ReadSnapshot(bytes.NewReader(data)); err == nil {
 		t.Error("corrupted snapshot accepted")
+	}
+}
+
+func TestSnapshotTruncation(t *testing.T) {
+	// A crash mid-write leaves a prefix of a snapshot on disk; every
+	// truncation point — inside the header, mid-payload, and inside the
+	// trailing checksum itself — must read back as an error, never as a
+	// short-but-accepted restart state.
+	ns, nl, nc := 4, 3, 7
+	conc := make([]float64, ns*nl*nc)
+	for i := range conc {
+		conc[i] = float64(i) * 0.5
+	}
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(&buf, 9, ns, nl, nc, conc); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 3, 12, len(data) / 2, len(data) - 5, len(data) - 2, len(data) - 1} {
+		if _, _, _, _, _, _, err := ReadSnapshot(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("snapshot truncated at %d of %d bytes accepted", cut, len(data))
+		}
+	}
+}
+
+func TestInjectedFaultsSurfaceAsErrors(t *testing.T) {
+	// With the injector firing on every hourio operation, reads and
+	// writes fail with the injected (transient) error before touching
+	// the stream.
+	inj := resilience.New(3).
+		Set(resilience.PointHourRead, 1).
+		Set(resilience.PointHourWrite, 1)
+	resilience.Enable(inj)
+	defer resilience.Disable()
+
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(&buf, 0, 2, 2, 2, make([]float64, 8)); err == nil {
+		t.Error("injected write fault did not surface")
+	} else if !resilience.IsTransient(err) {
+		t.Errorf("injected fault classified permanent: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Error("failed write still produced bytes")
+	}
+	if _, _, _, _, _, _, err := ReadSnapshot(&buf); err == nil {
+		t.Error("injected read fault did not surface")
+	}
+	if _, err := WriteHourInput(io.Discard, testInput(t)); err == nil {
+		t.Error("injected hour-input write fault did not surface")
 	}
 }
 

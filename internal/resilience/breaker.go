@@ -1,0 +1,138 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes every operation (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen lets exactly one probe operation through; its
+	// outcome decides between Closed and Open.
+	BreakerHalfOpen
+	// BreakerOpen short-circuits every operation until the cooldown
+	// elapses.
+	BreakerOpen
+)
+
+// String names the state for /healthz and /metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker: after Threshold
+// consecutive failures it opens, short-circuiting the protected
+// operation (the store degrades to compute-only mode); after Cooldown it
+// half-opens and admits a single probe, whose outcome re-closes or
+// re-opens the circuit. Safe for concurrent use.
+type Breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	cooldown    time.Duration
+	now         func() time.Time
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	trips       uint64
+}
+
+// Default breaker parameters (used for zero arguments).
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 10 * time.Second
+)
+
+// NewBreaker creates a closed breaker; threshold <= 0 and cooldown <= 0
+// take the defaults.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock replaces the breaker's clock (test hook for deterministic
+// cooldown expiry). Call before concurrent use.
+func (b *Breaker) SetClock(now func() time.Time) { b.now = now }
+
+// Allow reports whether the protected operation may proceed. Every
+// allowed operation MUST later call exactly one of Success or Failure —
+// in half-open state Allow admits a single probe and further calls are
+// rejected until that probe reports back.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a successful protected operation: the failure streak
+// resets and a probing breaker re-closes.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// Failure reports a failed protected operation: the streak grows and the
+// breaker opens at the threshold (or immediately on a failed probe).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	wasProbe := b.state == BreakerHalfOpen
+	b.probing = false
+	if wasProbe || (b.state == BreakerClosed && b.consecutive >= b.threshold) {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	}
+}
+
+// State snapshots the breaker position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips counts closed/half-open -> open transitions since creation.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,112 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced breaker clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected op %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v", b.State())
+	}
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3/3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed an op before cooldown")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3, time.Minute)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("interleaved successes still tripped the breaker: %v", b.State())
+	}
+}
+
+func TestBreakerProbeRecloses(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(2, 10*time.Second)
+	b.SetClock(clk.now)
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	clk.advance(9 * time.Second)
+	if b.Allow() {
+		t.Fatal("breaker allowed before the cooldown elapsed")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit the probe after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker rejected an op")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(2, 10*time.Second)
+	b.SetClock(clk.now)
+	b.Failure()
+	b.Failure()
+	clk.advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after cooldown")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	// The cooldown restarts from the failed probe.
+	if b.Allow() {
+		t.Fatal("breaker allowed immediately after a failed probe")
+	}
+	clk.advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no second probe after the restarted cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("final state = %v, want closed", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("Trips = %d, want 2", b.Trips())
+	}
+}

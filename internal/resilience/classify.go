@@ -1,0 +1,181 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Error classification: the retry machinery only re-executes failures
+// that a retry can plausibly cure. The rules, in precedence order:
+//
+//  1. cancellation and deadline expiry are permanent — retrying against
+//     a dead context only delays the inevitable;
+//  2. an explicit mark (MarkTransient / MarkPermanent) wins;
+//  3. errors that declare themselves via a Transient() bool method
+//     (including InjectedError) are believed;
+//  4. OS-level timeouts are transient;
+//  5. everything else is permanent — unknown failures (bad specs, logic
+//     errors, panics) must surface, not spin.
+
+// classified wraps an error with an explicit class mark.
+type classified struct {
+	err       error
+	transient bool
+}
+
+func (c *classified) Error() string { return c.err.Error() }
+func (c *classified) Unwrap() error { return c.err }
+
+// Transient reports the explicit mark.
+func (c *classified) Transient() bool { return c.transient }
+
+// MarkTransient marks err retryable. nil stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, transient: true}
+}
+
+// MarkPermanent marks err non-retryable. nil stays nil.
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, transient: false}
+}
+
+// transienter is the self-classification interface (errors carry their
+// own retry semantics through wrapping).
+type transienter interface {
+	Transient() bool
+}
+
+// IsTransient reports whether err should be retried.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t transienter
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	return false
+}
+
+// RetryPolicy is a capped exponential backoff with deterministic jitter.
+// The zero value means the defaults; WithDefaults resolves them.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (default 3; values < 1 mean 1 — no retries).
+	MaxAttempts int
+	// BaseDelay is the delay after the first failed attempt (default
+	// 25ms); each further failure multiplies it by Multiplier (default
+	// 2), capped at MaxDelay (default 2s).
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter is the fraction of the delay randomised away (0 = none):
+	// the delay after attempt n is d*(1 - Jitter*u) for a deterministic
+	// u in [0, 1) derived from (Seed, key, n), so retry schedules are
+	// reproducible under a fixed seed yet decorrelated across jobs.
+	// Out-of-range values clamp to [0, 1].
+	Jitter float64
+	// Seed drives the deterministic jitter.
+	Seed uint64
+}
+
+// WithDefaults resolves zero fields to the documented defaults.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the backoff before attempt+1, for the attempt-th failed
+// attempt (1-based). key decorrelates concurrent jobs (e.g. a hash of
+// the job identity).
+func (p RetryPolicy) Delay(attempt int, key uint64) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		u := float64(mix(p.Seed^mix(key^uint64(attempt)))>>11) / (1 << 53)
+		d *= 1 - p.Jitter*u
+	}
+	return time.Duration(d)
+}
+
+// SleepCtx sleeps for d or until ctx is done, returning ctx's error in
+// the latter case — the interruptible backoff wait (a Cancel during
+// retry backoff lands here).
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retry runs fn under the policy: transient failures are retried after
+// the backoff delay, permanent failures and context expiry return
+// immediately. It returns the number of attempts made and the final
+// error (nil on success).
+func Retry(ctx context.Context, p RetryPolicy, key uint64, fn func() error) (attempts int, err error) {
+	p = p.WithDefaults()
+	for {
+		attempts++
+		err = fn()
+		if err == nil || !IsTransient(err) || attempts >= p.MaxAttempts {
+			return attempts, err
+		}
+		if werr := SleepCtx(ctx, p.Delay(attempts, key)); werr != nil {
+			return attempts, fmt.Errorf("resilience: retry abandoned after %d attempts: %w", attempts, werr)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Journal is the daemon's crash-recovery write-ahead log: every accepted
+// job is appended (id + opaque payload, fsynced) before it can run, and
+// marked done when it reaches a terminal state. After a SIGKILL the
+// journal's pending set is exactly the accepted-but-unfinished work, and
+// the daemon re-submits it on restart — in-flight compute is lost,
+// accepted work is not.
+//
+// Format: an 8-byte magic header followed by CRC-framed records
+//
+//	'A' | u32 idLen | id | u32 payloadLen | payload | u32 crc
+//	'D' | u32 idLen | id |                           u32 crc
+//
+// Appends are fsynced, so a record either survives whole or is a
+// truncated tail; OpenJournal tolerates a torn tail (a crash mid-append)
+// by dropping it, and compacts the file down to the pending set so the
+// WAL stays small across restarts.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	pending map[string][]byte
+	appends int
+	closed  bool
+}
+
+const journalMagic = "AIRWAL01"
+
+// journal record types.
+const (
+	recAccept = byte('A')
+	recDone   = byte('D')
+)
+
+// maxJournalField bounds id and payload lengths (corruption guard).
+const maxJournalField = 1 << 24
+
+// OpenJournal opens (or creates) the journal at path, replays it into
+// the pending set — dropping a torn tail — and compacts it.
+func OpenJournal(path string) (*Journal, error) {
+	pending, err := readJournalFile(path)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{path: path, pending: pending}
+	if err := j.compact(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// ReadJournal reads the pending set of a journal file without opening it
+// for writing (inspection; a missing file is an empty set).
+func ReadJournal(path string) (map[string][]byte, error) {
+	return readJournalFile(path)
+}
+
+// readJournalFile parses accepted-minus-done; torn tails are dropped.
+func readJournalFile(path string) (map[string][]byte, error) {
+	pending := make(map[string][]byte)
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return pending, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resilience: journal: %w", err)
+	}
+	if len(raw) < len(journalMagic) || string(raw[:len(journalMagic)]) != journalMagic {
+		// Unrecognisable file: recover what we can, which is nothing.
+		return pending, nil
+	}
+	r := bytes.NewReader(raw[len(journalMagic):])
+	for {
+		id, payload, typ, err := readRecord(r)
+		if err != nil {
+			// A torn or corrupt tail ends the replay; everything before
+			// it was fsynced whole and stands.
+			return pending, nil
+		}
+		switch typ {
+		case recAccept:
+			pending[id] = payload
+		case recDone:
+			delete(pending, id)
+		}
+	}
+}
+
+// readRecord parses one CRC-framed record.
+func readRecord(r io.Reader) (id string, payload []byte, typ byte, err error) {
+	var frame bytes.Buffer
+	tr := io.TeeReader(r, &frame)
+	var t [1]byte
+	if _, err := io.ReadFull(tr, t[:]); err != nil {
+		return "", nil, 0, err
+	}
+	typ = t[0]
+	if typ != recAccept && typ != recDone {
+		return "", nil, 0, fmt.Errorf("resilience: journal: bad record type %d", typ)
+	}
+	idb, err := readField(tr)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if typ == recAccept {
+		if payload, err = readField(tr); err != nil {
+			return "", nil, 0, err
+		}
+	}
+	var crc uint32
+	if err := binary.Read(r, binary.LittleEndian, &crc); err != nil {
+		return "", nil, 0, err
+	}
+	if got := crc32.ChecksumIEEE(frame.Bytes()); got != crc {
+		return "", nil, 0, fmt.Errorf("resilience: journal: record checksum mismatch")
+	}
+	return string(idb), payload, typ, nil
+}
+
+// readField reads a u32-length-prefixed byte field.
+func readField(r io.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxJournalField {
+		return nil, fmt.Errorf("resilience: journal: implausible field length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// appendRecord frames and writes one record to w.
+func appendRecord(w io.Writer, typ byte, id string, payload []byte) error {
+	var frame bytes.Buffer
+	frame.WriteByte(typ)
+	if err := binary.Write(&frame, binary.LittleEndian, uint32(len(id))); err != nil {
+		return err
+	}
+	frame.WriteString(id)
+	if typ == recAccept {
+		if err := binary.Write(&frame, binary.LittleEndian, uint32(len(payload))); err != nil {
+			return err
+		}
+		frame.Write(payload)
+	}
+	if err := binary.Write(&frame, binary.LittleEndian, crc32.ChecksumIEEE(frame.Bytes())); err != nil {
+		return err
+	}
+	_, err := w.Write(frame.Bytes())
+	return err
+}
+
+// compact rewrites the journal as magic + the pending accepts (atomic:
+// temp file, fsync, rename) and reopens it for appending; j.mu held or
+// journal not yet shared.
+func (j *Journal) compact() error {
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, "tmp-wal-*")
+	if err != nil {
+		return fmt.Errorf("resilience: journal: %w", err)
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: journal: %w", err)
+	}
+	if _, err := tmp.WriteString(journalMagic); err != nil {
+		return fail(err)
+	}
+	ids := make([]string, 0, len(j.pending))
+	for id := range j.pending {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := appendRecord(tmp, recAccept, id, j.pending[id]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: journal: %w", err)
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("resilience: journal: %w", err)
+	}
+	j.f = f
+	j.appends = 0
+	return nil
+}
+
+// Accept journals an accepted job: the record is on disk (fsynced)
+// before Accept returns, so a crash after acceptance cannot lose it.
+func (j *Journal) Accept(id string, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("resilience: journal closed")
+	}
+	if err := appendRecord(j.f, recAccept, id, payload); err != nil {
+		return fmt.Errorf("resilience: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("resilience: journal: %w", err)
+	}
+	j.pending[id] = append([]byte(nil), payload...)
+	j.appends++
+	return nil
+}
+
+// Done journals a job's terminal state. Unknown ids are a no-op (the
+// entry was already retired, e.g. by a restart's re-submission pass).
+// When the pending set empties after many appends the journal compacts
+// back to the bare header.
+func (j *Journal) Done(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("resilience: journal closed")
+	}
+	if _, ok := j.pending[id]; !ok {
+		return nil
+	}
+	if err := appendRecord(j.f, recDone, id, nil); err != nil {
+		return fmt.Errorf("resilience: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("resilience: journal: %w", err)
+	}
+	delete(j.pending, id)
+	j.appends++
+	if len(j.pending) == 0 && j.appends >= 128 {
+		return j.compact()
+	}
+	return nil
+}
+
+// Pending snapshots the accepted-but-unfinished set (id -> payload).
+func (j *Journal) Pending() map[string][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string][]byte, len(j.pending))
+	for id, p := range j.pending {
+		out[id] = append([]byte(nil), p...)
+	}
+	return out
+}
+
+// Len returns the pending count.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.pending)
+}
+
+// Path returns the journal file location.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the file handle; the journal stays on disk.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}

@@ -1,0 +1,31 @@
+package resilience
+
+import "fmt"
+
+// PanicError is a recovered panic promoted to an error: the containment
+// layers (scheduler workers, engine chunk execution, the legacy per-node
+// goroutines) convert a panicking simulation into a failed job carrying
+// the panic value and the captured stack, never a dead process.
+//
+// A PanicError is permanent: a panic is a logic failure (or an injected
+// one standing in for it), and re-running it would fail the same way —
+// the job fails, the daemon survives, the operator reads the stack.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery
+	// (runtime/debug.Stack).
+	Stack []byte
+}
+
+// NewPanicError wraps a recovered value and its stack.
+func NewPanicError(value any, stack []byte) *PanicError {
+	return &PanicError{Value: value, Stack: stack}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("resilience: recovered panic: %v", e.Value)
+}
+
+// Transient reports false: panics are never retried.
+func (e *PanicError) Transient() bool { return false }

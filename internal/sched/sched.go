@@ -37,12 +37,15 @@ package sched
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"airshed/internal/core"
+	"airshed/internal/resilience"
 	"airshed/internal/scenario"
 	"airshed/internal/store"
 )
@@ -130,6 +133,18 @@ type Options struct {
 	// runs warm-start from stored checkpoints of matching physics
 	// prefixes. Nil disables persistence (in-memory LRU only).
 	Store *store.Store
+	// Retry governs re-execution of transiently-failed runs (I/O
+	// hiccups, injected faults): capped exponential backoff with
+	// deterministic jitter. The zero value means the resilience
+	// defaults (3 attempts, 25ms base, 2s cap, jitter 0.5). Permanent
+	// failures — bad specs, panics, cancellation — never retry.
+	Retry resilience.RetryPolicy
+	// Journal, when non-nil, write-ahead-logs every enqueued job
+	// (id + spec JSON, fsynced before Submit returns) and retires the
+	// entry on the job's terminal state. After a crash its pending set
+	// is exactly the accepted-but-unfinished work; cmd/airshedd
+	// re-submits it on restart.
+	Journal *resilience.Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -151,6 +166,12 @@ func (o Options) withDefaults() Options {
 	case o.CacheBytes == 0:
 		o.CacheBytes = 512 << 20
 	}
+	if o.Retry == (resilience.RetryPolicy{}) {
+		// The zero policy takes the full defaults including jitter
+		// (an explicitly-set policy with Jitter 0 stays unjittered).
+		o.Retry = resilience.RetryPolicy{Jitter: 0.5}
+	}
+	o.Retry = o.Retry.WithDefaults()
 	return o
 }
 
@@ -177,6 +198,12 @@ type Counters struct {
 	WarmStarts     uint64
 	PhysicsReplays uint64
 
+	// Resilience outcomes: Retries counts re-executions after a
+	// transient failure; Panics counts sim-worker panics contained
+	// into job failures.
+	Retries uint64
+	Panics  uint64
+
 	// Gauges.
 	QueueDepth   int
 	BusyWorkers  int
@@ -196,6 +223,8 @@ type job struct {
 	fromStore bool
 	warmHour  int
 	wholesale bool
+	attempts  int
+	lastErr   error
 	err       error
 	result    *core.Result
 
@@ -227,6 +256,14 @@ type JobStatus struct {
 	FromStore     bool
 	WarmStartHour int
 	PhysicsReplay bool
+
+	// Attempts is the number of executions so far (1 for a clean run,
+	// more after transient-failure retries; 0 for cache/store hits).
+	// LastErr is the most recent transient failure that triggered a
+	// retry — set even while the job is still running or if it later
+	// succeeded.
+	Attempts int
+	LastErr  error
 
 	SubmittedAt time.Time
 	StartedAt   time.Time
@@ -365,6 +402,15 @@ func (s *Scheduler) Submit(spec scenario.Spec) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.opts.QueueDepth)
 	}
 	s.inflight[hash] = j
+	if s.opts.Journal != nil {
+		// Write-ahead: the job is on disk before Submit returns, so a
+		// crash between acceptance and completion cannot lose it. A
+		// journal failure is not a submission failure — the job still
+		// runs, it just loses crash protection.
+		if payload, err := json.Marshal(spec); err == nil {
+			_ = s.opts.Journal.Accept(j.id, payload)
+		}
+	}
 	return j.statusLocked(), nil
 }
 
@@ -510,7 +556,36 @@ func (s *Scheduler) runJob(j *job) {
 	s.mu.Unlock()
 	defer cancel()
 
-	res, warmHour, wholesale, err := s.executeJob(ctx, j.spec)
+	// Retry loop: transient failures (I/O hiccups, injected faults)
+	// re-execute under capped exponential backoff; permanent failures
+	// (bad specs, panics, cancellation) surface immediately. The jitter
+	// is deterministic per (seed, job hash, attempt), so a fixed fault
+	// seed reproduces the whole schedule.
+	key := resilience.HashKey(j.hash)
+	var (
+		res       *core.Result
+		warmHour  int
+		wholesale bool
+		err       error
+	)
+	for attempt := 1; ; attempt++ {
+		s.mu.Lock()
+		j.attempts = attempt
+		s.mu.Unlock()
+		res, warmHour, wholesale, err = s.attemptJob(ctx, j)
+		if err == nil || !resilience.IsTransient(err) || attempt >= s.opts.Retry.MaxAttempts {
+			break
+		}
+		s.mu.Lock()
+		s.counters.Retries++
+		j.lastErr = err
+		s.mu.Unlock()
+		if werr := resilience.SleepCtx(ctx, s.opts.Retry.Delay(attempt, key)); werr != nil {
+			// Cancelled (or timed out) during backoff.
+			err = werr
+			break
+		}
+	}
 	if err == nil && s.opts.Store != nil {
 		// Persist outside the scheduler lock; failures only cost future
 		// restarts their head start.
@@ -538,6 +613,26 @@ func (s *Scheduler) runJob(j *job) {
 	}
 }
 
+// attemptJob is one execution attempt with panic containment: a
+// panicking sim worker becomes this attempt's error — permanent, so it
+// fails the job with the stack attached — and the worker goroutine
+// survives to take the next job.
+func (s *Scheduler) attemptJob(ctx context.Context, j *job) (res *core.Result, warmHour int, wholesale bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.counters.Panics++
+			s.mu.Unlock()
+			res, warmHour, wholesale = nil, 0, false
+			err = resilience.NewPanicError(r, debug.Stack())
+		}
+	}()
+	if err := resilience.Fire(resilience.PointSchedExec); err != nil {
+		return nil, 0, false, err
+	}
+	return s.executeJob(ctx, j.spec)
+}
+
 // finalizeLocked moves a job to a terminal state; s.mu held.
 func (s *Scheduler) finalizeLocked(j *job, st State, res *core.Result, err error) {
 	if j.state.Terminal() {
@@ -556,6 +651,11 @@ func (s *Scheduler) finalizeLocked(j *job, st State, res *core.Result, err error
 	case Cancelled:
 		s.counters.Cancelled++
 	}
+	if s.opts.Journal != nil {
+		// Terminal is terminal for every state: a cancelled or failed
+		// job must not be resurrected by the next restart.
+		_ = s.opts.Journal.Done(j.id)
+	}
 	close(j.done)
 }
 
@@ -570,6 +670,8 @@ func (j *job) statusLocked() JobStatus {
 		FromStore:     j.fromStore,
 		WarmStartHour: j.warmHour,
 		PhysicsReplay: j.wholesale,
+		Attempts:      j.attempts,
+		LastErr:       j.lastErr,
 		Err:           j.err,
 		SubmittedAt:   j.submitted,
 		StartedAt:     j.started,

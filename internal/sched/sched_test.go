@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"airshed/internal/core"
+	"airshed/internal/resilience"
 	"airshed/internal/scenario"
 )
 
@@ -475,4 +476,63 @@ func BenchmarkServeScenario(b *testing.B) {
 	b.Run("cached", func(b *testing.B) {
 		bench(b, Options{Workers: 1, GoParallel: true})
 	})
+}
+
+// TestCancelDuringRetryBackoff parks a job in its retry backoff sleep
+// (every execution attempt fails with an injected transient error and
+// the base delay is far longer than the test) and cancels it there: the
+// cancel must cut the sleep short and land the job in Cancelled without
+// waiting out the backoff.
+func TestCancelDuringRetryBackoff(t *testing.T) {
+	inj := resilience.New(11).Set(resilience.PointSchedExec, 1)
+	resilience.Enable(inj)
+	defer resilience.Disable()
+
+	s := New(Options{Workers: 1, GoParallel: true, Retry: resilience.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Hour, // the test only passes if cancel interrupts this
+	}})
+	defer shutdown(t, s)
+
+	st := mustSubmit(t, s, miniSpec())
+
+	// Wait for the first failed attempt, i.e. the job is now sleeping.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, err := s.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Attempts >= 1 && cur.LastErr != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never recorded its first failed attempt")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	start := time.Now()
+	if err := s.Cancel(st.ID); err != nil {
+		t.Fatalf("Cancel during backoff: %v", err)
+	}
+	final := awaitDone(t, s, st.ID)
+	if final.State != Cancelled {
+		t.Fatalf("state = %v, want cancelled", final.State)
+	}
+	if !errors.Is(final.Err, context.Canceled) {
+		t.Errorf("error should wrap context.Canceled, got %v", final.Err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("cancel took %v — it waited out the backoff instead of interrupting it", waited)
+	}
+	if final.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (cancelled before the retry ran)", final.Attempts)
+	}
+	if final.LastErr == nil || !resilience.IsTransient(final.LastErr) {
+		t.Errorf("the transient failure that queued the retry was not surfaced: %v", final.LastErr)
+	}
+	if c := s.Counters(); c.Cancelled != 1 {
+		t.Errorf("Cancelled = %d, want 1", c.Cancelled)
+	}
 }

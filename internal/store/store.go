@@ -17,6 +17,15 @@
 // it. A size-capped GC evicts oldest-first when the configured byte
 // budget is exceeded, so the store can run unattended under a daemon.
 //
+// The store self-protects against a failing disk with a circuit breaker:
+// after a streak of real I/O failures it opens and refuses further I/O
+// with ErrDegraded (reads report misses), so callers degrade to
+// compute-only operation instead of hammering broken storage. A periodic
+// half-open probe re-closes the breaker once I/O recovers. Benign
+// misses (file vanished under GC) never count against the breaker;
+// corruption does — repeated CRC failures mean the medium, not the
+// payload, is the problem.
+//
 // All methods are safe for concurrent use. Lookups racing GC simply miss.
 package store
 
@@ -25,6 +34,7 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -37,7 +47,13 @@ import (
 
 	"airshed/internal/core"
 	"airshed/internal/hourio"
+	"airshed/internal/resilience"
 )
+
+// ErrDegraded is returned by writes while the store's circuit breaker is
+// open: the disk is misbehaving and the store has paused I/O. Reads in
+// the same state report plain misses, so callers fall back to computing.
+var ErrDegraded = errors.New("store: degraded: circuit breaker open")
 
 // envelopeMagic frames result and record files.
 const envelopeMagic = "AIRSTOR1"
@@ -93,12 +109,17 @@ func (r *PhysicsRecord) Validate() error {
 // Counters is a point-in-time snapshot of the store's metrics. Hits and
 // Misses count lookups across all artifact kinds; Corrupt counts entries
 // that failed CRC or decode verification (each also counts as a miss);
-// Evictions counts GC removals.
+// Evictions counts GC removals; Faults counts real (or injected) I/O
+// failures fed to the circuit breaker; DegradedOps counts operations
+// refused while the breaker was open.
 type Counters struct {
-	Hits      uint64
-	Misses    uint64
-	Corrupt   uint64
-	Evictions uint64
+	Hits        uint64
+	Misses      uint64
+	Corrupt     uint64
+	Evictions   uint64
+	Faults      uint64
+	DegradedOps uint64
+	TempsSwept  uint64
 
 	// Gauges.
 	Entries int
@@ -115,11 +136,13 @@ type entry struct {
 type Store struct {
 	dir      string
 	maxBytes int64
+	breaker  *resilience.Breaker
 
-	mu       sync.Mutex
-	entries  map[string]entry // by relpath kind/hash.ext
-	bytes    int64
-	counters Counters
+	mu           sync.Mutex
+	entries      map[string]entry // by relpath kind/hash.ext
+	bytes        int64
+	counters     Counters
+	pendingTemps map[string]struct{} // temp files of in-flight writes
 }
 
 // Open creates (or reopens) a store rooted at dir, capped at maxBytes of
@@ -127,9 +150,11 @@ type Store struct {
 // leftover temp files from an interrupted write are removed.
 func Open(dir string, maxBytes int64) (*Store, error) {
 	s := &Store{
-		dir:      dir,
-		maxBytes: maxBytes,
-		entries:  make(map[string]entry),
+		dir:          dir,
+		maxBytes:     maxBytes,
+		breaker:      resilience.NewBreaker(resilience.DefaultBreakerThreshold, resilience.DefaultBreakerCooldown),
+		entries:      make(map[string]entry),
+		pendingTemps: make(map[string]struct{}),
 	}
 	for _, kind := range []string{kindResult, kindRecord, kindCheckpoint} {
 		sub := filepath.Join(dir, kind)
@@ -163,6 +188,46 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Breaker returns the store's circuit breaker (never nil) for state
+// inspection and tuning.
+func (s *Store) Breaker() *resilience.Breaker { return s.breaker }
+
+// SetBreaker replaces the circuit breaker (e.g. with a tighter threshold
+// or a test clock). Call before the store is shared.
+func (s *Store) SetBreaker(b *resilience.Breaker) {
+	if b != nil {
+		s.breaker = b
+	}
+}
+
+// Degraded reports whether the store is refusing I/O: the breaker is
+// open (or probing half-open after a failure streak).
+func (s *Store) Degraded() bool { return s.breaker.State() != resilience.BreakerClosed }
+
+// ioAllow asks the breaker for one I/O slot. A false return is booked as
+// a degraded op; a true return MUST be matched by exactly one ioSuccess
+// or ioFailure.
+func (s *Store) ioAllow() bool {
+	if s.breaker.Allow() {
+		return true
+	}
+	s.mu.Lock()
+	s.counters.DegradedOps++
+	s.mu.Unlock()
+	return false
+}
+
+// ioSuccess releases an allowed I/O as healthy.
+func (s *Store) ioSuccess() { s.breaker.Success() }
+
+// ioFailure books a real I/O failure against the breaker.
+func (s *Store) ioFailure() {
+	s.mu.Lock()
+	s.counters.Faults++
+	s.mu.Unlock()
+	s.breaker.Failure()
+}
+
 // Counters snapshots the metrics.
 func (s *Store) Counters() Counters {
 	s.mu.Lock()
@@ -182,17 +247,37 @@ func relpath(kind, hash, ext string) (string, error) {
 }
 
 // writeAtomic serialises data to rel via a same-directory temp file and
-// rename, then indexes it and runs GC.
+// rename, then indexes it and runs GC. While the breaker is open it
+// refuses immediately with ErrDegraded; any real failure (including an
+// injected one) feeds the breaker.
 func (s *Store) writeAtomic(rel string, write func(io.Writer) error) error {
+	if !s.ioAllow() {
+		return ErrDegraded
+	}
+	if err := resilience.Fire(resilience.PointStoreWrite); err != nil {
+		s.ioFailure()
+		return fmt.Errorf("store: writing %s: %w", rel, err)
+	}
 	full := filepath.Join(s.dir, rel)
 	f, err := os.CreateTemp(filepath.Dir(full), "tmp-*")
 	if err != nil {
+		s.ioFailure()
 		return fmt.Errorf("store: %w", err)
 	}
 	tmp := f.Name()
+	s.mu.Lock()
+	s.pendingTemps[tmp] = struct{}{}
+	s.mu.Unlock()
+	forgetTemp := func() {
+		s.mu.Lock()
+		delete(s.pendingTemps, tmp)
+		s.mu.Unlock()
+	}
 	fail := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
+		forgetTemp()
+		s.ioFailure()
 		return fmt.Errorf("store: writing %s: %w", rel, err)
 	}
 	if err := write(f); err != nil {
@@ -203,20 +288,28 @@ func (s *Store) writeAtomic(rel string, write func(io.Writer) error) error {
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
+		forgetTemp()
+		s.ioFailure()
 		return fmt.Errorf("store: writing %s: %w", rel, err)
 	}
 	info, err := os.Stat(tmp)
 	if err != nil {
 		os.Remove(tmp)
+		forgetTemp()
+		s.ioFailure()
 		return fmt.Errorf("store: writing %s: %w", rel, err)
 	}
 	if err := os.Rename(tmp, full); err != nil {
 		os.Remove(tmp)
+		forgetTemp()
+		s.ioFailure()
 		return fmt.Errorf("store: %w", err)
 	}
+	s.ioSuccess()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	delete(s.pendingTemps, tmp)
 	if old, ok := s.entries[rel]; ok {
 		s.bytes -= old.size
 	}
@@ -251,11 +344,49 @@ func (s *Store) gcLocked(keep string) {
 	})
 	for _, v := range victims {
 		if s.bytes <= s.maxBytes {
-			return
+			break
 		}
 		s.removeLocked(v.rel)
 		s.counters.Evictions++
 	}
+	// A GC pass also sweeps orphaned temp files — debris from writers
+	// that died between CreateTemp and rename.
+	s.sweepTempsLocked()
+}
+
+// sweepTempsLocked removes tmp-* files that no in-flight write owns;
+// s.mu held.
+func (s *Store) sweepTempsLocked() int {
+	swept := 0
+	for _, kind := range []string{kindResult, kindRecord, kindCheckpoint} {
+		sub := filepath.Join(s.dir, kind)
+		des, err := os.ReadDir(sub)
+		if err != nil {
+			continue
+		}
+		for _, de := range des {
+			if de.IsDir() || !strings.HasPrefix(de.Name(), "tmp-") {
+				continue
+			}
+			full := filepath.Join(sub, de.Name())
+			if _, busy := s.pendingTemps[full]; busy {
+				continue
+			}
+			if os.Remove(full) == nil {
+				swept++
+				s.counters.TempsSwept++
+			}
+		}
+	}
+	return swept
+}
+
+// SweepTemps removes orphaned temp files left by crashed writers (those
+// belonging to in-flight writes are skipped) and returns how many went.
+func (s *Store) SweepTemps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweepTempsLocked()
 }
 
 // removeLocked drops an entry from the index and the disk; s.mu held.
@@ -375,7 +506,9 @@ func (s *Store) putEnveloped(kind, hash, ext string, v any) error {
 	return s.writeAtomic(rel, func(w io.Writer) error { return writeEnvelope(w, v) })
 }
 
-// getEnveloped reads and verifies one framed artifact into v.
+// getEnveloped reads and verifies one framed artifact into v. Index
+// misses skip the breaker entirely (no I/O follows); once the index
+// hits, the actual read is gated and scored.
 func (s *Store) getEnveloped(kind, hash, ext string, v any) bool {
 	rel, err := relpath(kind, hash, ext)
 	if err != nil {
@@ -385,19 +518,54 @@ func (s *Store) getEnveloped(kind, hash, ext string, v any) bool {
 	if !ok {
 		return false
 	}
+	if !s.ioAllow() {
+		s.mu.Lock()
+		s.counters.Misses++
+		s.mu.Unlock()
+		return false
+	}
+	if err := resilience.Fire(resilience.PointStoreRead); err != nil {
+		s.ioFailure()
+		s.mu.Lock()
+		s.counters.Misses++
+		s.mu.Unlock()
+		return false
+	}
 	f, err := os.Open(full)
 	if err != nil {
+		if os.IsNotExist(err) {
+			// Vanished under GC: a benign miss, not a disk fault.
+			s.ioSuccess()
+		} else {
+			s.ioFailure()
+		}
 		s.miss(rel)
 		return false
 	}
 	err = readEnvelope(f, v)
 	f.Close()
 	if err != nil {
-		s.corrupt(rel)
+		s.ioFailure()
+		if isInjected(err) {
+			// An injected fault is a failed read, not bad data: keep
+			// the entry so a retry can still hit it.
+			s.miss(rel)
+		} else {
+			// Corruption counts against the breaker: one flipped bit
+			// is a payload problem, a streak is a medium problem.
+			s.corrupt(rel)
+		}
 		return false
 	}
+	s.ioSuccess()
 	s.hit()
 	return true
+}
+
+// isInjected reports whether err came from the fault injector.
+func isInjected(err error) bool {
+	var ie *resilience.InjectedError
+	return errors.As(err, &ie)
 }
 
 // PutResult stores a completed run result under the scenario hash.
@@ -466,17 +634,41 @@ func (s *Store) Checkpoint(prefixHash string) (path string, hour int, ok bool) {
 	if !ok {
 		return "", 0, false
 	}
+	if !s.ioAllow() {
+		s.mu.Lock()
+		s.counters.Misses++
+		s.mu.Unlock()
+		return "", 0, false
+	}
+	if err := resilience.Fire(resilience.PointStoreRead); err != nil {
+		s.ioFailure()
+		s.mu.Lock()
+		s.counters.Misses++
+		s.mu.Unlock()
+		return "", 0, false
+	}
 	f, err := os.Open(full)
 	if err != nil {
+		if os.IsNotExist(err) {
+			s.ioSuccess()
+		} else {
+			s.ioFailure()
+		}
 		s.miss(rel)
 		return "", 0, false
 	}
 	hour, _, _, _, _, _, err = hourio.ReadSnapshot(f)
 	f.Close()
 	if err != nil {
-		s.corrupt(rel)
+		s.ioFailure()
+		if isInjected(err) {
+			s.miss(rel)
+		} else {
+			s.corrupt(rel)
+		}
 		return "", 0, false
 	}
+	s.ioSuccess()
 	s.hit()
 	return full, hour, true
 }

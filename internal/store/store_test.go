@@ -272,3 +272,124 @@ func TestRejectsBadHashes(t *testing.T) {
 		t.Error("empty hash accepted")
 	}
 }
+
+// plantTemp simulates a writer that died between CreateTemp and rename,
+// leaving a tmp-* file in a kind directory.
+func plantTemp(t *testing.T, dir, kind, name string) string {
+	t.Helper()
+	full := filepath.Join(dir, kind, name)
+	if err := os.WriteFile(full, []byte("half-written artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return full
+}
+
+func TestOpenRecoversFromCrashMidRename(t *testing.T) {
+	dir := t.TempDir()
+	res := testResult(t)
+
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutResult("cafe01", res); err != nil {
+		t.Fatal(err)
+	}
+	committed := s.Bytes()
+
+	// Crash: temp debris lands next to the committed artifact in every
+	// kind directory.
+	temps := []string{
+		plantTemp(t, dir, kindResult, "tmp-123"),
+		plantTemp(t, dir, kindRecord, "tmp-456"),
+		plantTemp(t, dir, kindCheckpoint, "tmp-789"),
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tmp := range temps {
+		if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+			t.Errorf("crash debris %s survived reopen", tmp)
+		}
+	}
+	// The committed artifact is untouched: still indexed, still served,
+	// and the debris never entered the byte accounting.
+	if got, ok := s2.GetResult("cafe01"); !ok || got.PeakO3 != res.PeakO3 {
+		t.Error("committed artifact lost while sweeping crash debris")
+	}
+	if s2.Bytes() != committed {
+		t.Errorf("bytes after reopen = %d, want %d (temps must not be indexed)", s2.Bytes(), committed)
+	}
+}
+
+func TestSweepTempsRemovesOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := []string{
+		plantTemp(t, dir, kindResult, "tmp-a"),
+		plantTemp(t, dir, kindCheckpoint, "tmp-b"),
+	}
+	keep := filepath.Join(dir, kindResult, "not-a-temp.json")
+	if err := os.WriteFile(keep, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if swept := s.SweepTemps(); swept != len(temps) {
+		t.Errorf("swept %d orphans, want %d", swept, len(temps))
+	}
+	for _, tmp := range temps {
+		if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived SweepTemps", tmp)
+		}
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Error("sweep removed a non-temp file")
+	}
+	if c := s.Counters(); c.TempsSwept != uint64(len(temps)) {
+		t.Errorf("TempsSwept = %d, want %d", c.TempsSwept, len(temps))
+	}
+	if s.SweepTemps() != 0 {
+		t.Error("second sweep found debris again")
+	}
+}
+
+func TestGCPassSweepsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	res := testResult(t)
+	sh := res.Trace.Shape
+
+	probe, err := Open(filepath.Join(dir, "probe"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.PutCheckpoint("x", 0, sh.Species, sh.Layers, sh.Cells, res.Final); err != nil {
+		t.Fatal(err)
+	}
+	one := probe.Bytes()
+
+	s, err := Open(filepath.Join(dir, "capped"), one*3/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := plantTemp(t, filepath.Join(dir, "capped"), kindRecord, "tmp-orphan")
+
+	// Two checkpoints overflow the cap, forcing a GC pass — which also
+	// sweeps the orphan.
+	for i, h := range []string{"a", "b"} {
+		if err := s.PutCheckpoint(h, i, sh.Species, sh.Layers, sh.Cells, res.Final); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("GC pass did not sweep the orphaned temp")
+	}
+	if c := s.Counters(); c.TempsSwept != 1 {
+		t.Errorf("TempsSwept = %d, want 1", c.TempsSwept)
+	}
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Chaos smoke test: run the resilience chaos suite — deterministic fault
+# injection against the real scheduler, store and host engine — under
+# the race detector, then the crash-recovery integration test (build the
+# daemon, kill -9 it mid-queue, restart, assert the WAL journal replays
+# the accepted jobs). The chaos suite's seeds are fixed in-tree
+# (internal/resilience/chaos_test.go: 1, 7, 42), so every CI run replays
+# the same fault schedules; the invariant under test is that a run
+# completing under injected faults is bit-identical to the fault-free
+# baseline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== chaos suite (fixed seeds, -race) =="
+go test -race -count=1 -v -run 'TestChaos' ./internal/resilience/
+
+echo "== fault-path unit tests (-race) =="
+go test -race -count=1 \
+  -run 'TestCancelDuringRetryBackoff|TestEnginePanicContained|TestParallelNodesPanicContained|TestInjectedFaultsSurfaceAsErrors|TestSnapshotTruncation|TestOpenRecoversFromCrashMidRename|TestSweepTempsRemovesOrphans|TestGCPassSweepsOrphanedTemps|TestHealthzDegradedStore|TestRetryCountersSurfaceInAPI|TestRequestBodyLimit' \
+  ./internal/sched/ ./internal/fx/ ./internal/hourio/ ./internal/store/ ./cmd/airshedd/
+
+echo "== kill -9 / WAL journal recovery =="
+go test -count=1 -v -run 'TestKillDashNineRecoversJournal' ./cmd/airshedd/
+
+echo "chaos smoke OK"
