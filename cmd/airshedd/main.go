@@ -106,6 +106,9 @@ func run() error {
 	}
 	if journal != nil {
 		defer journal.Close()
+		if w := journal.Warning(); w != nil {
+			fmt.Fprintln(os.Stderr, "airshedd: journal recovery was partial:", w)
+		}
 	}
 
 	scheduler := sched.New(sched.Options{
@@ -171,6 +174,12 @@ func run() error {
 // finished the run before dying), after which the stale entry retires.
 // Jobs the scheduler rejects (queue full) stay pending for the next
 // restart.
+//
+// Before any re-submission the scheduler's ID sequence is seeded past
+// every replayed ID: a fresh boot otherwise restarts at j000001, fresh
+// IDs collide with stale pending keys, and Done(staleID) after Submit
+// would retire the re-submitted job's own journal entry — so a second
+// crash would silently lose accepted work.
 func replayJournal(journal *resilience.Journal, scheduler *sched.Scheduler) {
 	if journal == nil {
 		return
@@ -179,6 +188,7 @@ func replayJournal(journal *resilience.Journal, scheduler *sched.Scheduler) {
 	if len(pending) == 0 {
 		return
 	}
+	scheduler.SeedSequence(maxJournalSeq(pending))
 	resubmitted := 0
 	for id, payload := range pending {
 		var spec scenario.Spec
@@ -193,4 +203,18 @@ func replayJournal(journal *resilience.Journal, scheduler *sched.Scheduler) {
 		_ = journal.Done(id)
 	}
 	fmt.Printf("airshedd: journal: re-submitted %d of %d unfinished jobs\n", resubmitted, len(pending))
+}
+
+// maxJournalSeq extracts the highest numeric sequence among journaled
+// job IDs of the scheduler's "j%06d" form. IDs in any other shape are
+// skipped — they cannot collide with a scheduler-issued ID anyway.
+func maxJournalSeq(pending map[string][]byte) uint64 {
+	var max uint64
+	for id := range pending {
+		var n uint64
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
 }

@@ -34,6 +34,7 @@ type Journal struct {
 	f       *os.File
 	path    string
 	pending map[string][]byte
+	warn    error
 	appends int
 	closed  bool
 }
@@ -50,13 +51,16 @@ const (
 const maxJournalField = 1 << 24
 
 // OpenJournal opens (or creates) the journal at path, replays it into
-// the pending set — dropping a torn tail — and compacts it.
+// the pending set — dropping a torn tail — and compacts it. When the
+// replay was partial (bad header, corrupt or torn records dropped) the
+// journal opens anyway and Warning reports what was lost, so operators
+// can tell recovery was incomplete.
 func OpenJournal(path string) (*Journal, error) {
-	pending, err := readJournalFile(path)
+	pending, warn, err := readJournalFile(path)
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{path: path, pending: pending}
+	j := &Journal{path: path, pending: pending, warn: warn}
 	if err := j.compact(); err != nil {
 		return nil, err
 	}
@@ -66,30 +70,38 @@ func OpenJournal(path string) (*Journal, error) {
 // ReadJournal reads the pending set of a journal file without opening it
 // for writing (inspection; a missing file is an empty set).
 func ReadJournal(path string) (map[string][]byte, error) {
-	return readJournalFile(path)
+	pending, _, err := readJournalFile(path)
+	return pending, err
 }
 
-// readJournalFile parses accepted-minus-done; torn tails are dropped.
-func readJournalFile(path string) (map[string][]byte, error) {
-	pending := make(map[string][]byte)
+// readJournalFile parses accepted-minus-done. A clean end-of-file
+// returns a nil warn; an unrecognisable header or a corrupt/torn record
+// (which ends the replay — everything before it was fsynced whole and
+// stands) returns the recovered prefix plus a non-nil warn describing
+// what was dropped.
+func readJournalFile(path string) (pending map[string][]byte, warn, err error) {
+	pending = make(map[string][]byte)
 	raw, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return pending, nil
+		return pending, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("resilience: journal: %w", err)
+		return nil, nil, fmt.Errorf("resilience: journal: %w", err)
 	}
 	if len(raw) < len(journalMagic) || string(raw[:len(journalMagic)]) != journalMagic {
-		// Unrecognisable file: recover what we can, which is nothing.
-		return pending, nil
+		warn = fmt.Errorf("resilience: journal %s: unrecognisable header, ignoring %d bytes (pending jobs, if any, are lost)", path, len(raw))
+		return pending, warn, nil
 	}
 	r := bytes.NewReader(raw[len(journalMagic):])
 	for {
-		id, payload, typ, err := readRecord(r)
-		if err != nil {
-			// A torn or corrupt tail ends the replay; everything before
-			// it was fsynced whole and stands.
-			return pending, nil
+		left := r.Len()
+		id, payload, typ, rerr := readRecord(r)
+		if errors.Is(rerr, io.EOF) {
+			return pending, nil, nil // clean record boundary
+		}
+		if rerr != nil {
+			warn = fmt.Errorf("resilience: journal %s: dropped %d trailing bytes after %d recovered entries: %w", path, left, len(pending), rerr)
+			return pending, warn, nil
 		}
 		switch typ {
 		case recAccept:
@@ -100,7 +112,10 @@ func readJournalFile(path string) (map[string][]byte, error) {
 	}
 }
 
-// readRecord parses one CRC-framed record.
+// readRecord parses one CRC-framed record. It returns io.EOF only at a
+// clean record boundary (zero bytes left); EOF inside a record — a torn
+// tail — surfaces as io.ErrUnexpectedEOF so callers can tell the two
+// apart.
 func readRecord(r io.Reader) (id string, payload []byte, typ byte, err error) {
 	var frame bytes.Buffer
 	tr := io.TeeReader(r, &frame)
@@ -114,21 +129,30 @@ func readRecord(r io.Reader) (id string, payload []byte, typ byte, err error) {
 	}
 	idb, err := readField(tr)
 	if err != nil {
-		return "", nil, 0, err
+		return "", nil, 0, noCleanEOF(err)
 	}
 	if typ == recAccept {
 		if payload, err = readField(tr); err != nil {
-			return "", nil, 0, err
+			return "", nil, 0, noCleanEOF(err)
 		}
 	}
 	var crc uint32
 	if err := binary.Read(r, binary.LittleEndian, &crc); err != nil {
-		return "", nil, 0, err
+		return "", nil, 0, noCleanEOF(err)
 	}
 	if got := crc32.ChecksumIEEE(frame.Bytes()); got != crc {
 		return "", nil, 0, fmt.Errorf("resilience: journal: record checksum mismatch")
 	}
 	return string(idb), payload, typ, nil
+}
+
+// noCleanEOF converts io.EOF mid-record to io.ErrUnexpectedEOF; a bare
+// EOF means "clean boundary" to readRecord's callers.
+func noCleanEOF(err error) error {
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // readField reads a u32-length-prefixed byte field.
@@ -285,6 +309,12 @@ func (j *Journal) Len() int {
 
 // Path returns the journal file location.
 func (j *Journal) Path() string { return j.path }
+
+// Warning reports whether OpenJournal's replay was partial: non-nil when
+// the header was unrecognisable or corrupt/torn records were dropped, so
+// some accepted work may not have been recovered. The journal is still
+// usable; this exists so operators see that recovery was incomplete.
+func (j *Journal) Warning() error { return j.warn }
 
 // Close releases the file handle; the journal stays on disk.
 func (j *Journal) Close() error {

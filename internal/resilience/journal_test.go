@@ -94,6 +94,10 @@ func TestJournalTornTailDropped(t *testing.T) {
 	if got := j2.Pending(); len(got) != 1 || string(got["whole"]) != "payload" {
 		t.Fatalf("Pending after torn tail = %v, want only the whole record", got)
 	}
+	// Partial recovery is not silent: the dropped tail is surfaced.
+	if j2.Warning() == nil {
+		t.Fatal("torn tail recovered with a nil Warning")
+	}
 }
 
 func TestJournalGarbageFileRecoversEmpty(t *testing.T) {
@@ -106,9 +110,27 @@ func TestJournalGarbageFileRecoversEmpty(t *testing.T) {
 	if j.Len() != 0 {
 		t.Fatalf("garbage journal has %d pending", j.Len())
 	}
+	// Dropping an unrecognisable file is loud, not silent.
+	if j.Warning() == nil {
+		t.Fatal("garbage journal recovered with a nil Warning")
+	}
 	// And it is usable afterwards.
 	if err := j.Accept("x", []byte("y")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestJournalCleanFileHasNoWarning(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j := openJournal(t, path)
+	if err := j.Accept("a", []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2 := openJournal(t, path)
+	defer j2.Close()
+	if w := j2.Warning(); w != nil {
+		t.Fatalf("clean journal reopened with Warning %v", w)
 	}
 }
 

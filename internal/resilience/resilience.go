@@ -202,8 +202,17 @@ func (in *Injector) fire(name string) error {
 	if frac(in.seed, name, n) >= p.rate {
 		return nil
 	}
-	if p.limit > 0 && p.fired.Load() >= p.limit {
-		return nil
+	if p.limit > 0 {
+		// CAS so concurrent callers can never push fired past the cap.
+		for {
+			cur := p.fired.Load()
+			if cur >= p.limit {
+				return nil
+			}
+			if p.fired.CompareAndSwap(cur, cur+1) {
+				return &InjectedError{Point: name, Call: n}
+			}
+		}
 	}
 	p.fired.Add(1)
 	return &InjectedError{Point: name, Call: n}

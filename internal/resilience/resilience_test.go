@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -94,6 +96,35 @@ func TestInjectorLimitStopsFiring(t *testing.T) {
 	}
 	if fired != 2 {
 		t.Fatalf("limited point fired %d times, want 2", fired)
+	}
+}
+
+// TestInjectorLimitConcurrent hammers a capped point from many
+// goroutines: the cap is enforced with a CAS, so the total number of
+// faults handed out (and the Fired counter) must land exactly on the
+// limit, never past it.
+func TestInjectorLimitConcurrent(t *testing.T) {
+	const limit, goroutines, calls = 5, 16, 200
+	in := New(11).SetLimited(PointStoreRead, 1, limit)
+	var fired atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				if in.fire(PointStoreRead) != nil {
+					fired.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired.Load() != limit {
+		t.Fatalf("capped point handed out %d faults, want exactly %d", fired.Load(), limit)
+	}
+	if in.Fired(PointStoreRead) != limit {
+		t.Fatalf("Fired = %d, want %d", in.Fired(PointStoreRead), limit)
 	}
 }
 

@@ -227,6 +227,7 @@ type job struct {
 	lastErr   error
 	err       error
 	result    *core.Result
+	journaled bool // WAL Accept completed; terminal states must retire it
 
 	submitted time.Time
 	started   time.Time
@@ -402,16 +403,52 @@ func (s *Scheduler) Submit(spec scenario.Spec) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.opts.QueueDepth)
 	}
 	s.inflight[hash] = j
-	if s.opts.Journal != nil {
-		// Write-ahead: the job is on disk before Submit returns, so a
-		// crash between acceptance and completion cannot lose it. A
-		// journal failure is not a submission failure — the job still
-		// runs, it just loses crash protection.
-		if payload, err := json.Marshal(spec); err == nil {
-			_ = s.opts.Journal.Accept(j.id, payload)
-		}
+	st := j.statusLocked()
+	if s.opts.Journal == nil {
+		return st, nil
 	}
-	return j.statusLocked(), nil
+	payload, merr := json.Marshal(spec)
+
+	// Write-ahead, outside s.mu: Accept fsyncs, and holding the global
+	// lock across a disk flush would stall every scheduler operation
+	// behind slow storage. The job is on disk before Submit returns, so
+	// a crash between acceptance and completion still cannot lose it. A
+	// journal failure is not a submission failure — the job runs either
+	// way, it just loses crash protection.
+	s.mu.Unlock()
+	journaled := false
+	if merr == nil {
+		journaled = s.opts.Journal.Accept(j.id, payload) == nil
+	}
+	s.mu.Lock()
+	if !journaled {
+		return st, nil
+	}
+	// Handshake with finalize: a worker may have finished the job while
+	// Accept was in flight, in which case finalizeLocked saw
+	// j.journaled == false and skipped the retire — it is ours to do.
+	j.journaled = true
+	if j.state.Terminal() {
+		s.mu.Unlock()
+		_ = s.opts.Journal.Done(j.id)
+		s.mu.Lock()
+	}
+	return st, nil
+}
+
+// SeedSequence advances the job-ID sequence to at least n, so IDs issued
+// from here on are strictly greater than "j" + n. cmd/airshedd calls
+// this before replaying a crash-recovery journal: without it a fresh
+// boot restarts IDs at j000001, a re-submitted job can journal itself
+// under the same ID as a stale pending entry, and the replay's
+// subsequent Done(staleID) would silently retire the NEW entry — losing
+// the job on a second crash.
+func (s *Scheduler) SeedSequence(n uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seq < n {
+		s.seq = n
+	}
 }
 
 // newJobLocked allocates and registers a job record; s.mu held.
@@ -463,21 +500,28 @@ func (s *Scheduler) Await(ctx context.Context, id string) (JobStatus, error) {
 // ErrJobFinished.
 func (s *Scheduler) Cancel(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
 	switch j.state {
 	case Queued:
 		// The worker will skip it when dequeued.
-		s.finalizeLocked(j, Cancelled, nil, context.Canceled)
+		retire := s.finalizeLocked(j, Cancelled, nil, context.Canceled)
+		s.mu.Unlock()
+		if retire {
+			_ = s.opts.Journal.Done(j.id)
+		}
 		return nil
 	case Running:
 		j.cancel()
+		s.mu.Unlock()
 		return nil
 	default:
-		return fmt.Errorf("%w: %q is %s", ErrJobFinished, id, j.state)
+		err := fmt.Errorf("%w: %q is %s", ErrJobFinished, id, j.state)
+		s.mu.Unlock()
+		return err
 	}
 }
 
@@ -593,8 +637,8 @@ func (s *Scheduler) runJob(j *job) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.counters.BusyWorkers--
+	var retire bool
 	switch {
 	case err == nil:
 		j.warmHour = warmHour
@@ -605,11 +649,15 @@ func (s *Scheduler) runJob(j *job) {
 			s.counters.WarmStarts++
 		}
 		s.cache.put(j.hash, res)
-		s.finalizeLocked(j, Done, res, nil)
+		retire = s.finalizeLocked(j, Done, res, nil)
 	case errors.Is(err, context.Canceled):
-		s.finalizeLocked(j, Cancelled, nil, err)
+		retire = s.finalizeLocked(j, Cancelled, nil, err)
 	default:
-		s.finalizeLocked(j, Failed, nil, err)
+		retire = s.finalizeLocked(j, Failed, nil, err)
+	}
+	s.mu.Unlock()
+	if retire {
+		_ = s.opts.Journal.Done(j.id)
 	}
 }
 
@@ -633,10 +681,17 @@ func (s *Scheduler) attemptJob(ctx context.Context, j *job) (res *core.Result, w
 	return s.executeJob(ctx, j.spec)
 }
 
-// finalizeLocked moves a job to a terminal state; s.mu held.
-func (s *Scheduler) finalizeLocked(j *job, st State, res *core.Result, err error) {
+// finalizeLocked moves a job to a terminal state; s.mu held. It returns
+// whether the caller must retire the job's journal entry — Done fsyncs,
+// so it happens after the lock is released, never under it. Terminal is
+// terminal for every state: a cancelled or failed job must not be
+// resurrected by the next restart. A false return means either no
+// journaling, or the WAL Accept is still in flight — in that case the
+// submitting goroutine observes the terminal state and retires the
+// entry itself (see Submit).
+func (s *Scheduler) finalizeLocked(j *job, st State, res *core.Result, err error) (retire bool) {
 	if j.state.Terminal() {
-		return
+		return false
 	}
 	j.state = st
 	j.result = res
@@ -651,12 +706,8 @@ func (s *Scheduler) finalizeLocked(j *job, st State, res *core.Result, err error
 	case Cancelled:
 		s.counters.Cancelled++
 	}
-	if s.opts.Journal != nil {
-		// Terminal is terminal for every state: a cancelled or failed
-		// job must not be resurrected by the next restart.
-		_ = s.opts.Journal.Done(j.id)
-	}
 	close(j.done)
+	return s.opts.Journal != nil && j.journaled
 }
 
 // statusLocked snapshots the job; scheduler mutex held.
