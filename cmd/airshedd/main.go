@@ -39,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,11 +48,20 @@ import (
 	"syscall"
 	"time"
 
+	"airshed/internal/fleet"
 	"airshed/internal/resilience"
 	"airshed/internal/scenario"
 	"airshed/internal/sched"
 	"airshed/internal/store"
 )
+
+// version is the build version, injected at link time:
+//
+//	go build -ldflags "-X main.version=$(git describe --always --dirty)"
+//
+// It is printed by -version and reported in /healthz and worker
+// registrations, so operators can detect mixed-version fleets.
+var version = "dev"
 
 func main() {
 	if err := run(); err != nil {
@@ -75,17 +85,51 @@ func run() error {
 		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 		journalPath  = flag.String("journal", "", "crash-recovery journal file (default <store>/journal.wal when -store is set; \"off\" disables)")
 		retries      = flag.Int("retries", 3, "attempts per job for transiently-failed runs (1 = no retries)")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
+
+		fleetCoordinator = flag.Bool("fleet-coordinator", false, "serve the fleet coordinator API (/v1/fleet/*); requires -store")
+		fleetWorker      = flag.String("fleet-worker", "", "coordinator base URL; run as a fleet worker using the coordinator's store")
+		fleetName        = flag.String("fleet-name", "", "fleet worker name (default <host>:<port> of -addr)")
+		fleetSelfURL     = flag.String("fleet-self-url", "", "this worker's base URL as reachable from the coordinator (default http://127.0.0.1:<port>)")
+		fleetMachine     = flag.String("fleet-machine", "gohost", "machine profile this worker advertises for fleet bin-packing")
+		fleetHeartbeat   = flag.Duration("fleet-heartbeat", 2*time.Second, "fleet heartbeat interval")
+		fleetHBTimeout   = flag.Duration("fleet-heartbeat-timeout", 10*time.Second, "coordinator: declare a worker lost after this silence")
+		fleetPoll        = flag.Duration("fleet-poll", 500*time.Millisecond, "coordinator: shard progress poll interval")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("airshedd", version)
+		return nil
+	}
+	if *fleetCoordinator && *fleetWorker != "" {
+		return fmt.Errorf("-fleet-coordinator and -fleet-worker are mutually exclusive")
+	}
+
 	var artifacts *store.Store
-	if *storeDir != "" {
+	switch {
+	case *fleetWorker != "":
+		// Workers read and write artifacts through the coordinator's
+		// store, so results computed here are servable fleet-wide.
+		if *storeDir != "" {
+			return fmt.Errorf("-store and -fleet-worker are mutually exclusive: workers use the coordinator's store")
+		}
+		var err error
+		if artifacts, err = store.OpenBackend(store.NewHTTPBackend(*fleetWorker, nil), 0); err != nil {
+			return err
+		}
+		fmt.Printf("airshedd: fleet worker, artifact store via %s\n", *fleetWorker)
+	case *storeDir != "":
 		var err error
 		if artifacts, err = store.Open(*storeDir, *storeMB<<20); err != nil {
 			return err
 		}
 		fmt.Printf("airshedd: artifact store at %s (%d entries, %.1f MiB)\n",
 			artifacts.Dir(), artifacts.Len(), float64(artifacts.Bytes())/(1<<20))
+	}
+	if *fleetCoordinator && artifacts == nil {
+		return fmt.Errorf("-fleet-coordinator requires -store (workers share the coordinator's store)")
 	}
 
 	// Crash-recovery journal: accepted-but-unfinished jobs are WAL-logged
@@ -125,12 +169,30 @@ func run() error {
 	})
 	replayJournal(journal, scheduler)
 
+	var coordinator *fleet.Coordinator
+	if *fleetCoordinator {
+		coordinator = fleet.NewCoordinator(fleet.Options{
+			HeartbeatTimeout: *fleetHBTimeout,
+			PollInterval:     *fleetPoll,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("airshedd: "+format+"\n", args...)
+			},
+		})
+	}
+
 	// Conservative edge timeouts: slow-header clients are cut off, idle
 	// keep-alives bounded. No WriteTimeout — /debug/pprof/profile
 	// legitimately streams for 30s.
+	role := ""
+	switch {
+	case coordinator != nil:
+		role = "coordinator"
+	case *fleetWorker != "":
+		role = "worker"
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(scheduler, artifacts, *pprofFlag).handler(),
+		Handler:           newServer(scheduler, artifacts, *pprofFlag, coordinator, role).handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -141,10 +203,37 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("airshedd: listening on %s (%d workers, queue %d, cache %d entries)\n",
-			*addr, *workers, *queueDepth, *cacheEntries)
+		fmt.Printf("airshedd: %s listening on %s (%d workers, queue %d, cache %d entries)\n",
+			version, *addr, *workers, *queueDepth, *cacheEntries)
 		errc <- srv.ListenAndServe()
 	}()
+
+	var agent *fleet.Agent
+	if *fleetWorker != "" {
+		name, selfURL, err := workerIdentity(*addr, *fleetName, *fleetSelfURL)
+		if err != nil {
+			return err
+		}
+		agent, err = fleet.StartAgent(fleet.AgentOptions{
+			Coordinator: *fleetWorker,
+			SelfURL:     selfURL,
+			Name:        name,
+			Machine:     *fleetMachine,
+			HostWorkers: *hostWorkers,
+			Workers:     *workers,
+			Version:     version,
+			Interval:    *fleetHeartbeat,
+			Scheduler:   scheduler,
+			Store:       artifacts,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("airshedd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer agent.Stop()
+	}
 
 	select {
 	case err := <-errc:
@@ -203,6 +292,27 @@ func replayJournal(journal *resilience.Journal, scheduler *sched.Scheduler) {
 		_ = journal.Done(id)
 	}
 	fmt.Printf("airshedd: journal: re-submitted %d of %d unfinished jobs\n", resubmitted, len(pending))
+}
+
+// workerIdentity derives the fleet name and self URL a worker
+// advertises from its listen address, unless overridden by flags. An
+// unspecified or wildcard host becomes 127.0.0.1 — right for local
+// fleets; multi-host fleets must pass -fleet-self-url explicitly.
+func workerIdentity(addr, name, selfURL string) (string, string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", "", fmt.Errorf("cannot derive fleet identity from -addr %q: %w", addr, err)
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	if name == "" {
+		name = net.JoinHostPort(host, port)
+	}
+	if selfURL == "" {
+		selfURL = "http://" + net.JoinHostPort(host, port)
+	}
+	return name, selfURL, nil
 }
 
 // maxJournalSeq extracts the highest numeric sequence among journaled

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"airshed/internal/core"
+	"airshed/internal/fleet"
 	"airshed/internal/fx"
 	"airshed/internal/machine"
 	"airshed/internal/perfmodel"
@@ -53,7 +54,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any, what string) bool
 // prediction for any machine or node count is instant.
 type server struct {
 	sched   *sched.Scheduler
-	store   *store.Store // nil when -store is unset
+	store   *store.Store       // nil when -store is unset
+	coord   *fleet.Coordinator // nil unless -fleet-coordinator
+	role    string             // "coordinator", "worker", or "" standalone
 	sweeps  *sweep.Engine
 	profile bool // expose net/http/pprof under /debug/pprof/
 
@@ -67,10 +70,12 @@ type traceEntry struct {
 	err   error
 }
 
-func newServer(s *sched.Scheduler, st *store.Store, profile bool) *server {
+func newServer(s *sched.Scheduler, st *store.Store, profile bool, coord *fleet.Coordinator, role string) *server {
 	return &server{
 		sched:   s,
 		store:   st,
+		coord:   coord,
+		role:    role,
 		sweeps:  sweep.NewEngine(s),
 		profile: profile,
 		traces:  make(map[string]*traceEntry),
@@ -88,6 +93,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.coord != nil {
+		// Fleet coordinator API, including the blob service workers use
+		// as their store backend.
+		s.coord.RegisterRoutes(mux, store.NewBlobServer(s.store))
+	}
 	if s.profile {
 		// The explicit registrations mirror what importing net/http/pprof
 		// does to http.DefaultServeMux, which this server does not use.
@@ -355,17 +365,23 @@ func (s *server) storedTrace(spec scenario.Spec) *core.Trace {
 // serving (compute-only) while the store's circuit breaker is open, and
 // /healthz says so without failing the liveness probe.
 type healthResponse struct {
-	Status string `json:"status"`          // "ok" or "degraded"
-	Store  string `json:"store,omitempty"` // breaker state when -store is set
+	Status       string `json:"status"`                  // "ok" or "degraded"
+	Version      string `json:"version"`                 // build version (-ldflags "-X main.version=...")
+	Store        string `json:"store,omitempty"`         // breaker state when a store is attached
+	FleetRole    string `json:"fleet_role,omitempty"`    // "coordinator" or "worker"
+	FleetWorkers int    `json:"fleet_workers,omitempty"` // live workers (coordinator only)
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	h := healthResponse{Status: "ok"}
+	h := healthResponse{Status: "ok", Version: version, FleetRole: s.role}
 	if s.store != nil {
 		h.Store = s.store.Breaker().State().String()
 		if s.store.Degraded() {
 			h.Status = "degraded"
 		}
+	}
+	if s.coord != nil {
+		h.FleetWorkers = s.coord.Gauges().WorkersLive
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -412,6 +428,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			degraded = 1
 		}
 		fmt.Fprintf(w, "airshedd_store_degraded %d\n", degraded)
+	}
+	if s.coord != nil {
+		g := s.coord.Gauges()
+		fmt.Fprintf(w, "airshedd_fleet_workers_registered %d\n", g.WorkersRegistered)
+		fmt.Fprintf(w, "airshedd_fleet_workers_live %d\n", g.WorkersLive)
+		fmt.Fprintf(w, "airshedd_fleet_workers_lost %d\n", g.WorkersLost)
+		fmt.Fprintf(w, "airshedd_fleet_sweeps_started_total %d\n", g.SweepsStarted)
+		fmt.Fprintf(w, "airshedd_fleet_sweeps_running %d\n", g.SweepsRunning)
+		fmt.Fprintf(w, "airshedd_fleet_shards_dispatched_total %d\n", g.ShardsDispatched)
+		fmt.Fprintf(w, "airshedd_fleet_shards_reassigned_total %d\n", g.ShardsReassigned)
 	}
 	// Host execution engine gauges. Jobs run on the process-wide shared
 	// engine unless -host-workers pins dedicated per-job pools, so these

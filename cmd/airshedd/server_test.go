@@ -30,7 +30,7 @@ func testServer(t *testing.T, opts sched.Options) (*httptest.Server, *sched.Sche
 	}
 	opts.GoParallel = true
 	scheduler := sched.New(opts)
-	ts := httptest.NewServer(newServer(scheduler, opts.Store, true).handler())
+	ts := httptest.NewServer(newServer(scheduler, opts.Store, true, nil, "").handler())
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)

@@ -707,19 +707,25 @@ func Restart(snapshotPath string, cfg Config) (*Result, error) {
 	return RestartContext(context.Background(), snapshotPath, cfg)
 }
 
-// RestartContext is the context-aware restart: the warm-start path of the
-// scheduler, which resumes from store checkpoints and must still honour
-// per-job cancellation.
+// RestartContext is the context-aware restart from a snapshot file.
 func RestartContext(ctx context.Context, snapshotPath string, cfg Config) (*Result, error) {
-	if cfg.Dataset == nil {
-		return nil, fmt.Errorf("core: Restart needs Config.Dataset")
-	}
 	f, err := os.Open(snapshotPath)
 	if err != nil {
 		return nil, resilience.MarkTransient(err)
 	}
-	hour, ns, nl, nc, conc, _, err := hourio.ReadSnapshot(f)
-	f.Close()
+	defer f.Close()
+	return RestartReaderContext(ctx, f, cfg)
+}
+
+// RestartReaderContext resumes a simulation from an hourio snapshot
+// stream — the warm-start path of the scheduler, which resumes from
+// store checkpoints (possibly fetched over the network in fleet mode)
+// and must still honour per-job cancellation.
+func RestartReaderContext(ctx context.Context, r io.Reader, cfg Config) (*Result, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("core: Restart needs Config.Dataset")
+	}
+	hour, ns, nl, nc, conc, _, err := hourio.ReadSnapshot(r)
 	if err != nil {
 		return nil, resilience.MarkTransient(fmt.Errorf("core: restart snapshot: %w", err))
 	}

@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"airshed/internal/sched"
+	"airshed/internal/store"
+)
+
+// AgentOptions configures a worker's fleet agent.
+type AgentOptions struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// SelfURL is this worker's base URL as reachable from the
+	// coordinator.
+	SelfURL string
+	// Name is the worker's registry name (must be fleet-unique).
+	Name string
+	// Machine is the machine.ByName profile key the worker advertises
+	// for bin-packing.
+	Machine string
+	// HostWorkers and Workers are the advertised host-parallel width and
+	// scheduler pool size.
+	HostWorkers int
+	Workers     int
+	// Version is the worker's build version string.
+	Version string
+	// Interval is the heartbeat cadence (default 2s).
+	Interval time.Duration
+	// Scheduler, when set, feeds queue depth and busy workers into
+	// heartbeats.
+	Scheduler *sched.Scheduler
+	// Store, when set, feeds store counters into heartbeats.
+	Store *store.Store
+	// Client is the HTTP client; nil gets a 10s-timeout default.
+	Client *http.Client
+	// Logf, when set, receives one line per agent event.
+	Logf func(format string, args ...any)
+}
+
+// Agent is a worker's fleet membership: it registers with the
+// coordinator at start (retrying until it succeeds) and heartbeats
+// until stopped. If the coordinator forgets the worker — a restart —
+// the agent re-registers on the next beat.
+type Agent struct {
+	opts   AgentOptions
+	client *http.Client
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// StartAgent validates the options and starts the register/heartbeat
+// loop in the background. An unreachable coordinator is not an error —
+// the agent keeps retrying at the heartbeat cadence, so workers and
+// coordinator can boot in any order.
+func StartAgent(opts AgentOptions) (*Agent, error) {
+	if opts.Coordinator == "" || opts.SelfURL == "" || opts.Name == "" {
+		return nil, fmt.Errorf("fleet: agent needs coordinator, self URL and name")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	a := &Agent{
+		opts:   opts,
+		client: opts.Client,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if a.client == nil {
+		a.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	go a.loop()
+	return a, nil
+}
+
+// Stop ends the heartbeat loop and waits for it to exit.
+func (a *Agent) Stop() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	<-a.done
+}
+
+func (a *Agent) loop() {
+	defer close(a.done)
+	registered := a.register()
+	t := time.NewTicker(a.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+		}
+		if !registered {
+			registered = a.register()
+			continue
+		}
+		if err := a.beat(); err != nil {
+			a.opts.Logf("fleet: heartbeat: %v", err)
+			// Either the coordinator is down (the next beat retries) or
+			// it restarted and forgot us (re-register re-creates the
+			// record); re-registering covers both.
+			registered = false
+		}
+	}
+}
+
+// register announces the worker; reports success.
+func (a *Agent) register() bool {
+	req := RegisterRequest{
+		Name:        a.opts.Name,
+		URL:         a.opts.SelfURL,
+		Machine:     a.opts.Machine,
+		HostWorkers: a.opts.HostWorkers,
+		Workers:     a.opts.Workers,
+		Version:     a.opts.Version,
+	}
+	if err := a.post("/v1/fleet/register", req); err != nil {
+		a.opts.Logf("fleet: register: %v", err)
+		return false
+	}
+	a.opts.Logf("fleet: registered with %s as %s", a.opts.Coordinator, a.opts.Name)
+	return true
+}
+
+// beat sends one heartbeat with the worker's live load and store view.
+func (a *Agent) beat() error {
+	hb := Heartbeat{Name: a.opts.Name}
+	if a.opts.Scheduler != nil {
+		sc := a.opts.Scheduler.Counters()
+		hb.QueueDepth = sc.QueueDepth
+		hb.BusyWorkers = sc.BusyWorkers
+	}
+	if a.opts.Store != nil {
+		hb.Store = a.opts.Store.Counters()
+	}
+	return a.post("/v1/fleet/heartbeat", hb)
+}
+
+func (a *Agent) post(path string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := a.client.Post(a.opts.Coordinator+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("fleet: %s returned %s", path, resp.Status)
+	}
+	return nil
+}

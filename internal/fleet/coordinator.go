@@ -1,0 +1,581 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"airshed/internal/machine"
+	"airshed/internal/scenario"
+	"airshed/internal/sweep"
+)
+
+// ErrUnknownWorker reports a heartbeat from a worker that never
+// registered (e.g. the coordinator restarted); the agent re-registers
+// when it sees this.
+var ErrUnknownWorker = errors.New("fleet: unknown worker")
+
+// ErrUnknownSweep reports a fleet sweep ID the coordinator never issued.
+var ErrUnknownSweep = errors.New("fleet: unknown sweep")
+
+// ErrNoWorkers reports a sweep submitted while no live worker is
+// registered.
+var ErrNoWorkers = errors.New("fleet: no live workers registered")
+
+// Options tunes the coordinator; zero values take the defaults noted.
+type Options struct {
+	// HeartbeatTimeout declares a worker lost when its last heartbeat is
+	// older than this (default 10s).
+	HeartbeatTimeout time.Duration
+	// PollInterval is the shard progress poll cadence (default 500ms).
+	PollInterval time.Duration
+	// PollFailures is how many consecutive failed shard polls declare
+	// the worker lost, independent of heartbeats (default 3).
+	PollFailures int
+	// Client is the HTTP client for dispatch and polling; nil gets a
+	// 30s-timeout default.
+	Client *http.Client
+	// Logf, when set, receives one line per fleet event (registration,
+	// dispatch, loss, reassignment).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 10 * time.Second
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 500 * time.Millisecond
+	}
+	if o.PollFailures <= 0 {
+		o.PollFailures = 3
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// workerState is one registry entry.
+type workerState struct {
+	RegisterRequest
+	profile     *machine.Profile
+	registered  time.Time
+	lastSeen    time.Time
+	lost        bool
+	queueDepth  int
+	busyWorkers int
+}
+
+// shard is one dispatched unit of a fleet sweep.
+type shard struct {
+	worker    string
+	url       string
+	specs     []scenario.Spec
+	remoteID  string
+	state     string // "dispatching", "running", "done", "lost"
+	completed int
+	failed    int
+	pollFails int
+}
+
+// fleetSweep is the coordinator's record of one sharded sweep.
+type fleetSweep struct {
+	id      string
+	name    string
+	specs   []scenario.Spec
+	shards  []*shard
+	pending []scenario.Spec // specs awaiting (re)assignment
+	state   string          // "running", "done", "failed"
+	errMsg  string
+	started time.Time
+	ended   time.Time
+	done    chan struct{}
+}
+
+// Coordinator is the fleet's control plane: the worker registry plus
+// the shard dispatch/poll/reassign loops, one goroutine per running
+// sweep. All exported methods are safe for concurrent use.
+type Coordinator struct {
+	opts Options
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	sweeps  map[string]*fleetSweep
+	order   []string
+	seq     int
+
+	sweepsStarted    int
+	shardsDispatched int
+	shardsReassigned int
+}
+
+// NewCoordinator creates an empty coordinator.
+func NewCoordinator(opts Options) *Coordinator {
+	return &Coordinator{
+		opts:    opts.withDefaults(),
+		workers: make(map[string]*workerState),
+		sweeps:  make(map[string]*fleetSweep),
+	}
+}
+
+// Register adds or refreshes a worker. Re-registration (same name)
+// updates the record and clears any lost mark — a restarted worker is a
+// fresh worker.
+func (c *Coordinator) Register(req RegisterRequest) error {
+	if req.Name == "" || req.URL == "" {
+		return fmt.Errorf("fleet: registration needs name and url")
+	}
+	prof, err := machine.ByName(req.Machine)
+	if err != nil {
+		return fmt.Errorf("fleet: worker %s: %w", req.Name, err)
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[req.Name]
+	if !ok {
+		w = &workerState{registered: now}
+		c.workers[req.Name] = w
+	}
+	w.RegisterRequest = req
+	w.profile = prof
+	w.lastSeen = now
+	w.lost = false
+	c.opts.Logf("fleet: worker %s registered (%s, %d host workers) at %s",
+		req.Name, prof.Name, req.HostWorkers, req.URL)
+	return nil
+}
+
+// Beat records a worker heartbeat.
+func (c *Coordinator) Beat(hb Heartbeat) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[hb.Name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownWorker, hb.Name)
+	}
+	w.lastSeen = time.Now()
+	w.lost = false
+	w.queueDepth = hb.QueueDepth
+	w.busyWorkers = hb.BusyWorkers
+	return nil
+}
+
+// Workers lists the registry sorted by name.
+func (c *Coordinator) Workers() []WorkerView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.markLostLocked()
+	out := make([]WorkerView, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerView{
+			Name:        w.Name,
+			URL:         w.URL,
+			Machine:     w.Machine,
+			HostWorkers: w.HostWorkers,
+			Workers:     w.Workers,
+			Version:     w.Version,
+			Registered:  w.registered,
+			LastSeen:    w.lastSeen,
+			Lost:        w.lost,
+			QueueDepth:  w.queueDepth,
+			BusyWorkers: w.busyWorkers,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// markLostLocked flips workers past the heartbeat window to lost; c.mu
+// held.
+func (c *Coordinator) markLostLocked() {
+	cutoff := time.Now().Add(-c.opts.HeartbeatTimeout)
+	for _, w := range c.workers {
+		if !w.lost && w.lastSeen.Before(cutoff) {
+			w.lost = true
+			c.opts.Logf("fleet: worker %s lost (no heartbeat since %s)",
+				w.Name, w.lastSeen.Format(time.RFC3339))
+		}
+	}
+}
+
+// liveLocked returns the live workers as packing capacities plus their
+// URLs, sorted by name for deterministic placement; c.mu held.
+func (c *Coordinator) liveLocked() ([]Capacity, map[string]string) {
+	c.markLostLocked()
+	var caps []Capacity
+	urls := make(map[string]string)
+	for _, w := range c.workers {
+		if w.lost {
+			continue
+		}
+		slots := w.HostWorkers
+		if slots < 1 {
+			slots = w.Workers
+		}
+		caps = append(caps, Capacity{Name: w.Name, Profile: w.profile, Slots: slots})
+		urls[w.Name] = w.URL
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].Name < caps[j].Name })
+	return caps, urls
+}
+
+// Gauges snapshots the coordinator metrics.
+func (c *Coordinator) Gauges() Gauges {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.markLostLocked()
+	g := Gauges{
+		WorkersRegistered: len(c.workers),
+		SweepsStarted:     c.sweepsStarted,
+		ShardsDispatched:  c.shardsDispatched,
+		ShardsReassigned:  c.shardsReassigned,
+	}
+	for _, w := range c.workers {
+		if w.lost {
+			g.WorkersLost++
+		} else {
+			g.WorkersLive++
+		}
+	}
+	for _, fs := range c.sweeps {
+		if fs.state == "running" {
+			g.SweepsRunning++
+		}
+	}
+	return g
+}
+
+// StartSweep expands a sweep request, packs it across the live workers
+// and begins dispatching in the background. The returned status is the
+// initial snapshot; poll with Status or block with Await.
+func (c *Coordinator) StartSweep(req sweep.Request) (SweepStatus, error) {
+	specs, err := req.Expand()
+	if err != nil {
+		return SweepStatus{}, err
+	}
+	if len(specs) == 0 {
+		return SweepStatus{}, fmt.Errorf("fleet: request expands to no jobs")
+	}
+
+	c.mu.Lock()
+	caps, _ := c.liveLocked()
+	if len(caps) == 0 {
+		c.mu.Unlock()
+		return SweepStatus{}, ErrNoWorkers
+	}
+	c.seq++
+	c.sweepsStarted++
+	fs := &fleetSweep{
+		id:      fmt.Sprintf("f%04d", c.seq),
+		name:    req.Name,
+		specs:   specs,
+		pending: specs,
+		state:   "running",
+		started: time.Now(),
+		done:    make(chan struct{}),
+	}
+	c.sweeps[fs.id] = fs
+	c.order = append(c.order, fs.id)
+	c.mu.Unlock()
+
+	// Assign synchronously so the caller's first snapshot already shows
+	// the placement (and tests can pick a victim deterministically).
+	if err := c.assignPending(fs); err != nil {
+		// Packing failure (not worker loss) is a request problem: fail
+		// the sweep rather than spin.
+		c.mu.Lock()
+		fs.state, fs.errMsg = "failed", err.Error()
+		fs.ended = time.Now()
+		c.mu.Unlock()
+		close(fs.done)
+		return c.Status(fs.id)
+	}
+	go c.run(fs)
+	return c.Status(fs.id)
+}
+
+// assignPending packs fs's pending specs over the live workers and
+// dispatches the new shards. A dispatch failure marks that worker lost
+// and sends its specs back to pending — the run loop retries.
+func (c *Coordinator) assignPending(fs *fleetSweep) error {
+	c.mu.Lock()
+	pending := fs.pending
+	if len(pending) == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	caps, urls := c.liveLocked()
+	if len(caps) == 0 {
+		c.mu.Unlock()
+		return nil // stay pending until a worker (re)appears
+	}
+	fs.pending = nil
+	c.mu.Unlock()
+
+	shardSpecs, err := Pack(pending, caps)
+	if err != nil {
+		c.mu.Lock()
+		fs.pending = pending
+		c.mu.Unlock()
+		return err
+	}
+
+	var newShards []*shard
+	c.mu.Lock()
+	for i, specs := range shardSpecs {
+		if len(specs) == 0 {
+			continue
+		}
+		sh := &shard{
+			worker: caps[i].Name,
+			url:    urls[caps[i].Name],
+			specs:  specs,
+			state:  "dispatching",
+		}
+		fs.shards = append(fs.shards, sh)
+		newShards = append(newShards, sh)
+		c.shardsDispatched++
+	}
+	c.mu.Unlock()
+
+	for _, sh := range newShards {
+		c.dispatch(fs, sh)
+	}
+	return nil
+}
+
+// dispatch posts one shard to its worker's /v1/sweeps as a specs-only
+// sweep request; the worker's own engine then runs its seed pass and
+// jobs against the coordinator-backed store.
+func (c *Coordinator) dispatch(fs *fleetSweep, sh *shard) {
+	req := sweep.Request{
+		Name:  fmt.Sprintf("%s/%s", fs.id, sh.worker),
+		Specs: sh.specs,
+	}
+	var st sweep.Status
+	err := c.postJSON(sh.url+"/v1/sweeps", req, &st)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.opts.Logf("fleet: dispatch to %s failed: %v", sh.worker, err)
+		c.loseShardLocked(fs, sh)
+		return
+	}
+	sh.remoteID = st.ID
+	sh.state = "running"
+	c.opts.Logf("fleet: sweep %s: %d specs -> %s (remote %s)",
+		fs.id, len(sh.specs), sh.worker, st.ID)
+}
+
+// loseShardLocked marks a shard's worker lost and queues the shard's
+// specs for reassignment; c.mu held. Specs the worker already finished
+// re-resolve as store hits, so requeueing the whole shard is safe.
+func (c *Coordinator) loseShardLocked(fs *fleetSweep, sh *shard) {
+	if sh.state == "lost" || sh.state == "done" {
+		return
+	}
+	sh.state = "lost"
+	if w, ok := c.workers[sh.worker]; ok && !w.lost {
+		w.lost = true
+	}
+	fs.pending = append(fs.pending, sh.specs...)
+	c.shardsReassigned++
+	c.opts.Logf("fleet: sweep %s: shard on %s lost, %d specs requeued",
+		fs.id, sh.worker, len(sh.specs))
+}
+
+// run drives one sweep: poll shard progress, detect losses, reassign,
+// finish when every spec is covered by a completed shard.
+func (c *Coordinator) run(fs *fleetSweep) {
+	defer close(fs.done)
+	for {
+		time.Sleep(c.opts.PollInterval)
+
+		c.mu.Lock()
+		c.markLostLocked()
+		var toPoll []*shard
+		for _, sh := range fs.shards {
+			switch sh.state {
+			case "running":
+				if w, ok := c.workers[sh.worker]; ok && w.lost {
+					c.loseShardLocked(fs, sh)
+					continue
+				}
+				toPoll = append(toPoll, sh)
+			case "dispatching":
+				// dispatch() is still in flight on another goroutine only
+				// during assignPending; by the time run() sees it, a stuck
+				// "dispatching" means the dispatch call failed after this
+				// snapshot — next pass resolves it.
+			}
+		}
+		c.mu.Unlock()
+
+		for _, sh := range toPoll {
+			c.poll(fs, sh)
+		}
+		if err := c.assignPending(fs); err != nil {
+			c.mu.Lock()
+			fs.state, fs.errMsg = "failed", err.Error()
+			fs.ended = time.Now()
+			c.mu.Unlock()
+			return
+		}
+
+		c.mu.Lock()
+		finished := len(fs.pending) == 0 && len(fs.shards) > 0
+		for _, sh := range fs.shards {
+			if sh.state != "done" && sh.state != "lost" {
+				finished = false
+				break
+			}
+		}
+		if finished {
+			fs.state = "done"
+			fs.ended = time.Now()
+			c.mu.Unlock()
+			c.opts.Logf("fleet: sweep %s done (%d shards, %d reassigned)",
+				fs.id, len(fs.shards), c.shardsReassigned)
+			return
+		}
+		c.mu.Unlock()
+	}
+}
+
+// poll refreshes one running shard from its worker.
+func (c *Coordinator) poll(fs *fleetSweep, sh *shard) {
+	var st sweep.Status
+	err := c.getJSON(fmt.Sprintf("%s/v1/sweeps/%s", sh.url, sh.remoteID), &st)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		sh.pollFails++
+		if sh.pollFails >= c.opts.PollFailures {
+			c.opts.Logf("fleet: sweep %s: %d consecutive poll failures on %s: %v",
+				fs.id, sh.pollFails, sh.worker, err)
+			c.loseShardLocked(fs, sh)
+		}
+		return
+	}
+	sh.pollFails = 0
+	sh.completed = st.Completed
+	sh.failed = st.Failed
+	if st.State == "done" && sh.state == "running" {
+		sh.state = "done"
+	}
+}
+
+// Status snapshots a fleet sweep by ID.
+func (c *Coordinator) Status(id string) (SweepStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs, ok := c.sweeps[id]
+	if !ok {
+		return SweepStatus{}, fmt.Errorf("%w: %q", ErrUnknownSweep, id)
+	}
+	return c.snapshotLocked(fs), nil
+}
+
+// List snapshots every fleet sweep in start order.
+func (c *Coordinator) List() []SweepStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SweepStatus, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.snapshotLocked(c.sweeps[id]))
+	}
+	return out
+}
+
+// Await blocks until the sweep finishes or ctx expires.
+func (c *Coordinator) Await(ctx context.Context, id string) (SweepStatus, error) {
+	c.mu.Lock()
+	fs, ok := c.sweeps[id]
+	c.mu.Unlock()
+	if !ok {
+		return SweepStatus{}, fmt.Errorf("%w: %q", ErrUnknownSweep, id)
+	}
+	select {
+	case <-fs.done:
+		return c.Status(id)
+	case <-ctx.Done():
+		return SweepStatus{}, ctx.Err()
+	}
+}
+
+func (c *Coordinator) snapshotLocked(fs *fleetSweep) SweepStatus {
+	out := SweepStatus{
+		ID:         fs.id,
+		Name:       fs.name,
+		State:      fs.state,
+		Error:      fs.errMsg,
+		Total:      len(fs.specs),
+		StartedAt:  fs.started,
+		FinishedAt: fs.ended,
+	}
+	for _, sh := range fs.shards {
+		out.Shards = append(out.Shards, ShardStatus{
+			Worker:    sh.worker,
+			RemoteID:  sh.remoteID,
+			Specs:     len(sh.specs),
+			State:     sh.state,
+			Completed: sh.completed,
+			Failed:    sh.failed,
+		})
+		if sh.state == "lost" {
+			out.Reassigned++
+			continue
+		}
+		out.Completed += sh.completed
+		out.Failed += sh.failed
+	}
+	return out
+}
+
+// postJSON posts v as JSON and decodes the response into out.
+func (c *Coordinator) postJSON(url string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := c.opts.Client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("fleet: %s returned %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// getJSON fetches url and decodes the response into out.
+func (c *Coordinator) getJSON(url string, out any) error {
+	resp, err := c.opts.Client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: %s returned %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"airshed/internal/machine"
+	"airshed/internal/scenario"
+)
+
+func mini(hours int, nox float64) scenario.Spec {
+	return scenario.Spec{Dataset: "mini", Machine: "t3e", Nodes: 2, Hours: hours, NOxScale: nox}.Normalize()
+}
+
+// profileWithFlopTime derives a synthetic profile with a chosen speed
+// from the Paragon baseline, keeping every other parameter valid.
+func profileWithFlopTime(t *testing.T, name string, flopTime float64) *machine.Profile {
+	t.Helper()
+	base, err := machine.ByName("paragon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := *base
+	p.Name = name
+	p.FlopTime = flopTime
+	return &p
+}
+
+// TestPackLPTHandComputedSlots checks the greedy LPT placement against
+// a hand-run of the algorithm on two equal machines where one has twice
+// the host-parallel width. Costs are proportional to hours (same
+// dataset), so with units 8,7,6,5,4 and speeds 2:1:
+//
+//	8 -> fast(4.0)   7 -> slow(7.0)  6 -> fast(7.0)
+//	5 -> fast(9.5)   4 -> slow(11.0)
+//
+// giving fast={8,6,5}, slow={7,4}.
+func TestPackLPTHandComputedSlots(t *testing.T) {
+	prof := profileWithFlopTime(t, "unit", 1.0)
+	workers := []Capacity{
+		{Name: "fast", Profile: prof, Slots: 2},
+		{Name: "slow", Profile: prof, Slots: 1},
+	}
+	specs := []scenario.Spec{mini(8, 1), mini(7, 1), mini(6, 1), mini(5, 1), mini(4, 1)}
+	shards, err := Pack(specs, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFast := []scenario.Spec{mini(8, 1), mini(6, 1), mini(5, 1)}
+	wantSlow := []scenario.Spec{mini(7, 1), mini(4, 1)}
+	if !reflect.DeepEqual(shards[0], wantFast) {
+		t.Errorf("fast shard = %v\nwant %v", hoursOf(shards[0]), hoursOf(wantFast))
+	}
+	if !reflect.DeepEqual(shards[1], wantSlow) {
+		t.Errorf("slow shard = %v\nwant %v", hoursOf(shards[1]), hoursOf(wantSlow))
+	}
+}
+
+// TestPackLPTHandComputedHeterogeneous uses two real paper profiles —
+// the T3D is 1.9x the Paragon per node — and units with costs 4,3,3,2.
+// Hand-running the greedy rule (finish time = (load+cost)/speed):
+//
+//	4 -> t3d (2.11 vs 4)    3a -> paragon (3.68 vs 3)
+//	3b -> t3d (3.68 vs 6)   2  -> t3d (4.74 vs 5)
+//
+// giving t3d={4,3b,2}, paragon={3a}.
+func TestPackLPTHandComputedHeterogeneous(t *testing.T) {
+	t3d, err := machine.ByName("t3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paragon, err := machine.ByName("paragon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := []Capacity{
+		{Name: "t3d", Profile: t3d, Slots: 1},
+		{Name: "paragon", Profile: paragon, Slots: 1},
+	}
+	h4 := mini(4, 1)
+	h3a := mini(3, 1)
+	h3b := mini(3, 0.8) // same cost as h3a, distinct physics
+	h2 := mini(2, 1)
+	shards, err := Pack([]scenario.Spec{h4, h3a, h3b, h2}, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []scenario.Spec{h4, h3b, h2}; !reflect.DeepEqual(shards[0], want) {
+		t.Errorf("t3d shard = %v, want %v", hoursOf(shards[0]), hoursOf(want))
+	}
+	if want := []scenario.Spec{h3a}; !reflect.DeepEqual(shards[1], want) {
+		t.Errorf("paragon shard = %v, want %v", hoursOf(shards[1]), hoursOf(want))
+	}
+}
+
+// TestPackKeepsWarmStartFamiliesTogether: control variants sharing a
+// baseline prefix must land on one worker, so the family's seed run
+// warm-starts every member locally instead of racing across hosts.
+func TestPackKeepsWarmStartFamiliesTogether(t *testing.T) {
+	prof := profileWithFlopTime(t, "unit", 1.0)
+	workers := []Capacity{
+		{Name: "a", Profile: prof, Slots: 1},
+		{Name: "b", Profile: prof, Slots: 1},
+	}
+	v1 := scenario.Spec{Dataset: "mini", Machine: "t3e", Nodes: 2, Hours: 4, NOxScale: 0.7, ControlStartHour: 2}.Normalize()
+	v2 := scenario.Spec{Dataset: "mini", Machine: "t3e", Nodes: 2, Hours: 4, NOxScale: 0.5, ControlStartHour: 2}.Normalize()
+	base := mini(4, 1)
+	shards, err := Pack([]scenario.Spec{v1, v2, base}, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := -1
+	for i, sh := range shards {
+		for _, sp := range sh {
+			if sp == v1 || sp == v2 {
+				if found >= 0 && found != i {
+					t.Fatalf("warm-start family split across shards: %v / %v", hoursOf(shards[0]), hoursOf(shards[1]))
+				}
+				found = i
+			}
+		}
+	}
+	if found < 0 {
+		t.Fatal("variants missing from shards")
+	}
+	// The family (2 runs) outweighs the baseline (1 run), so LPT places
+	// it first on worker a; the baseline balances onto b.
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+	}
+	if total != 3 {
+		t.Errorf("pack lost specs: %d placed, want 3", total)
+	}
+	if len(shards[0]) != 2 || len(shards[1]) != 1 {
+		t.Errorf("placement = %d/%d specs, want 2/1", len(shards[0]), len(shards[1]))
+	}
+}
+
+func TestPackDeterministicAndComplete(t *testing.T) {
+	prof := profileWithFlopTime(t, "unit", 1.0)
+	workers := []Capacity{
+		{Name: "a", Profile: prof, Slots: 2},
+		{Name: "b", Profile: prof, Slots: 1},
+		{Name: "c", Profile: prof, Slots: 1},
+	}
+	var specs []scenario.Spec
+	for h := 2; h <= 9; h++ {
+		specs = append(specs, mini(h, 1))
+	}
+	first, err := Pack(specs, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := Pack(specs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatal("Pack is not deterministic")
+		}
+	}
+	seen := make(map[string]bool)
+	for _, sh := range first {
+		for _, sp := range sh {
+			seen[sp.Hash()] = true
+		}
+	}
+	if len(seen) != len(specs) {
+		t.Errorf("pack covered %d distinct specs, want %d", len(seen), len(specs))
+	}
+
+	if _, err := Pack(specs, nil); err == nil {
+		t.Error("packing onto zero workers must fail")
+	}
+}
+
+func hoursOf(specs []scenario.Spec) []int {
+	out := make([]int, len(specs))
+	for i, sp := range specs {
+		out[i] = sp.Hours
+	}
+	return out
+}

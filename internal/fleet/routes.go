@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"airshed/internal/sweep"
+)
+
+// maxFleetBody bounds register/heartbeat/sweep request bodies.
+const maxFleetBody = 1 << 20
+
+// RegisterRoutes mounts the coordinator's fleet API on mux:
+//
+//	POST /v1/fleet/register     worker registration
+//	POST /v1/fleet/heartbeat    worker liveness + load report
+//	GET  /v1/fleet/workers      registry listing
+//	POST /v1/fleet/sweeps       submit a sharded sweep
+//	GET  /v1/fleet/sweeps       list fleet sweeps
+//	GET  /v1/fleet/sweeps/{id}  fleet sweep progress
+//	     /v1/fleet/blobs...     the store blob service (when blobs != nil)
+//
+// blobs is typically store.NewBlobServer over the coordinator's store.
+func (c *Coordinator) RegisterRoutes(mux *http.ServeMux, blobs http.Handler) {
+	mux.HandleFunc("POST /v1/fleet/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/fleet/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("GET /v1/fleet/workers", c.handleWorkers)
+	mux.HandleFunc("POST /v1/fleet/sweeps", c.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/fleet/sweeps", c.handleSweepList)
+	mux.HandleFunc("GET /v1/fleet/sweeps/{id}", c.handleSweepStatus)
+	if blobs != nil {
+		mux.Handle("/v1/fleet/blobs", blobs)
+		mux.Handle("/v1/fleet/blobs/", blobs)
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeFleetBody(w, r, &req) {
+		return
+	}
+	if err := c.Register(req); err != nil {
+		fleetError(w, http.StatusBadRequest, err)
+		return
+	}
+	fleetJSON(w, http.StatusOK, map[string]string{"status": "registered"})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if !decodeFleetBody(w, r, &hb) {
+		return
+	}
+	if err := c.Beat(hb); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownWorker) {
+			// 404 tells the agent to re-register (coordinator restart).
+			code = http.StatusNotFound
+		}
+		fleetError(w, code, err)
+		return
+	}
+	fleetJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	fleetJSON(w, http.StatusOK, c.Workers())
+}
+
+func (c *Coordinator) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req sweep.Request
+	if !decodeFleetBody(w, r, &req) {
+		return
+	}
+	st, err := c.StartSweep(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrNoWorkers):
+		fleetError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		fleetError(w, http.StatusBadRequest, err)
+		return
+	}
+	fleetJSON(w, http.StatusAccepted, st)
+}
+
+func (c *Coordinator) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := c.Status(r.PathValue("id"))
+	if err != nil {
+		fleetError(w, http.StatusNotFound, err)
+		return
+	}
+	fleetJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	fleetJSON(w, http.StatusOK, c.List())
+}
+
+func decodeFleetBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxFleetBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			fleetError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		fleetError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return false
+	}
+	return true
+}
+
+func fleetJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func fleetError(w http.ResponseWriter, code int, err error) {
+	fleetJSON(w, code, map[string]string{"error": err.Error()})
+}

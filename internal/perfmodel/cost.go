@@ -1,0 +1,46 @@
+package perfmodel
+
+import (
+	"sync"
+
+	"airshed/internal/datasets"
+	"airshed/internal/scenario"
+)
+
+// costShapes caches the constructed datasets behind CostEstimate, keyed
+// by normalized name: cost queries arrive once per spec of a sweep, and
+// rebuilding the refined grid a thousand times would dominate the
+// estimate itself. Only immutable fields (Shape, flop scales) are read.
+var costShapes sync.Map
+
+// CostEstimate returns a machine-independent estimate of a scenario's
+// sequential work, in the same flop-equivalent units machine.Profile
+// charges with ComputeTime: hours x cells x layers x species scaled by
+// the dataset's calibrated chemistry + transport flop factors. It is the
+// a-priori flavour of the Section 4 computation model — no trace exists
+// yet when a fleet coordinator places a spec, so the estimate uses only
+// the quantities a compiler could read off the input declaration: the
+// array shape A(species, layers, cells) and the run length.
+//
+// Divide by a worker's effective flop rate (HostWorkers / FlopTime) to
+// rank placements; emission-control knobs deliberately do not move the
+// estimate (controls change the answer, not the work shape).
+func CostEstimate(spec scenario.Spec) (float64, error) {
+	n := spec.Normalize()
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	v, ok := costShapes.Load(n.Dataset)
+	if !ok {
+		ds, err := datasets.ByName(n.Dataset)
+		if err != nil {
+			return 0, err
+		}
+		v, _ = costShapes.LoadOrStore(n.Dataset, ds)
+	}
+	ds := v.(*datasets.Dataset)
+	sh := ds.Shape
+	perHour := float64(sh.Cells) * float64(sh.Layers) * float64(sh.Species) *
+		(ds.ChemFlopsScale + ds.TransportFlopsScale)
+	return float64(n.Hours) * perHour, nil
+}

@@ -1,0 +1,64 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"airshed/internal/scenario"
+)
+
+func TestCostEstimateScalesWithHoursAndShape(t *testing.T) {
+	base := scenario.Spec{Dataset: "mini", Machine: "t3e", Nodes: 2, Hours: 2}
+	c2, err := CostEstimate(base)
+	if err != nil || c2 <= 0 {
+		t.Fatalf("CostEstimate(mini,2h) = %g, %v", c2, err)
+	}
+	long := base
+	long.Hours = 6
+	c6, err := CostEstimate(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c6 != 3*c2 {
+		t.Errorf("cost not linear in hours: 6h=%g, 3*2h=%g", c6, 3*c2)
+	}
+
+	la := base
+	la.Dataset = "la"
+	cla, err := CostEstimate(la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cla <= c2 {
+		t.Errorf("LA (700 cells) must cost more than mini (52 cells): %g vs %g", cla, c2)
+	}
+}
+
+func TestCostEstimateIgnoresNonWorkKnobs(t *testing.T) {
+	base := scenario.Spec{Dataset: "mini", Machine: "t3e", Nodes: 2, Hours: 3}
+	c0, err := CostEstimate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variant := base
+	variant.NOxScale = 0.5
+	variant.VOCScale = 0.7
+	variant.ControlStartHour = 2
+	variant.Machine = "paragon"
+	variant.Nodes = 16
+	c1, err := CostEstimate(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0 != c1 {
+		t.Errorf("control knobs / machine moved the work estimate: %g vs %g", c0, c1)
+	}
+}
+
+func TestCostEstimateRejectsInvalidSpecs(t *testing.T) {
+	if _, err := CostEstimate(scenario.Spec{Dataset: "nope", Machine: "t3e", Nodes: 1, Hours: 1}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := CostEstimate(scenario.Spec{Dataset: "mini", Machine: "t3e", Nodes: 1}); err == nil {
+		t.Error("zero hours accepted")
+	}
+}

@@ -1,9 +1,9 @@
 package sched
 
 import (
+	"bytes"
 	"context"
 	"fmt"
-	"os"
 
 	"airshed/internal/core"
 	"airshed/internal/hourio"
@@ -83,18 +83,18 @@ func (s *Scheduler) executeStored(ctx context.Context, n scenario.Spec, cfg core
 	// checkpoints are cheap index misses; damaged ones were already
 	// deleted by the store's verification.
 	for k := start + len(segs); k > start; k-- {
-		path, hour, ok := st.Checkpoint(n.PhysicsPrefixHash(k))
+		snap, hour, ok := st.Checkpoint(n.PhysicsPrefixHash(k))
 		if !ok || hour != k-1 {
 			continue
 		}
 		if k == end {
-			res, err := s.materialize(n, cfg, segs, path)
+			res, err := s.materialize(n, cfg, segs, snap)
 			if err == nil {
 				return res, k, true, nil
 			}
 			continue // e.g. checkpoint evicted under us: try shorter
 		}
-		res, err := s.warmRun(ctx, n, cfg, segs[:k-start], path, k)
+		res, err := s.warmRun(ctx, n, cfg, segs[:k-start], snap, k)
 		if err == nil {
 			return res, k, false, nil
 		}
@@ -115,9 +115,9 @@ func (s *Scheduler) executeStored(ctx context.Context, n scenario.Spec, cfg core
 // warmRun resumes the simulation from the stored checkpoint at absolute
 // hour k and stitches the stored prefix physics with the simulated
 // suffix into the full-run result.
-func (s *Scheduler) warmRun(ctx context.Context, n scenario.Spec, cfg core.Config, prefix []*store.PhysicsRecord, ckptPath string, k int) (*core.Result, error) {
+func (s *Scheduler) warmRun(ctx context.Context, n scenario.Spec, cfg core.Config, prefix []*store.PhysicsRecord, snap []byte, k int) (*core.Result, error) {
 	cfg.Hours = n.EndHour() - k
-	suffix, err := core.RestartContext(ctx, ckptPath, cfg)
+	suffix, err := core.RestartReaderContext(ctx, bytes.NewReader(snap), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -128,13 +128,8 @@ func (s *Scheduler) warmRun(ctx context.Context, n scenario.Spec, cfg core.Confi
 // materialize reconstructs the full result from stored physics alone:
 // the trace and peaks from the hour records, the final concentrations
 // from the end-of-run checkpoint. No numerics are recomputed.
-func (s *Scheduler) materialize(n scenario.Spec, cfg core.Config, segs []*store.PhysicsRecord, ckptPath string) (*core.Result, error) {
-	f, err := os.Open(ckptPath)
-	if err != nil {
-		return nil, err
-	}
-	_, ns, nl, nc, conc, _, err := hourio.ReadSnapshot(f)
-	f.Close()
+func (s *Scheduler) materialize(n scenario.Spec, cfg core.Config, segs []*store.PhysicsRecord, snap []byte) (*core.Result, error) {
+	_, ns, nl, nc, conc, _, err := hourio.ReadSnapshot(bytes.NewReader(snap))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,290 @@
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Backend is the raw blob layer underneath a Store: whole-blob put/get/
+// delete/list keyed by "kind/name" relpaths, with no knowledge of
+// envelopes, checksums, counters or eviction — those stay in Store. The
+// split is what lets a sweep's artifacts live anywhere: the local
+// directory is one backend (DirBackend, the historical behaviour), an
+// in-memory map another (MemBackend, for tests), and an HTTP client a
+// third (HTTPBackend, through which fleet workers read and write the
+// coordinator's store).
+type Backend interface {
+	// Put stores data under key atomically: concurrent readers observe
+	// either the previous blob or the complete new one, never a partial
+	// write.
+	Put(key string, data []byte) error
+	// Get returns the blob's bytes. A missing key reports an error
+	// satisfying errors.Is(err, fs.ErrNotExist); any other error is a
+	// real I/O failure.
+	Get(key string) ([]byte, error)
+	// Delete removes the blob; deleting a missing key is not an error.
+	Delete(key string) error
+	// List enumerates the stored blobs (for index rebuilds at open).
+	List() ([]BlobInfo, error)
+	// Shared reports whether other processes read and write this backend
+	// concurrently. A Store over a shared backend keeps no local index
+	// and never garbage-collects — the backend's owner does both.
+	Shared() bool
+}
+
+// BlobInfo describes one stored blob.
+type BlobInfo struct {
+	// Key is the blob's "kind/name" relpath.
+	Key string `json:"key"`
+	// Size is the blob's byte size.
+	Size int64 `json:"size"`
+	// ModTime is when the blob was last written.
+	ModTime time.Time `json:"mod_time"`
+}
+
+// kinds are the artifact kind subdirectories every backend namespaces by.
+var kinds = []string{kindResult, kindRecord, kindCheckpoint}
+
+// blobName validates the name half of a blob key: hash plus extension,
+// nothing that could escape the kind directory or collide with write
+// temp files.
+var blobName = regexp.MustCompile(`^[A-Za-z0-9_-]+\.[A-Za-z0-9]+$`)
+
+// SplitKey validates a blob key and returns its kind and name halves. A
+// valid key is "<kind>/<hash>.<ext>" with a known kind; everything else
+// — path traversal, temp-file names, empty halves — is rejected. It is
+// exported for the coordinator's HTTP blob handlers, which accept keys
+// from the network.
+func SplitKey(key string) (kind, name string, err error) {
+	kind, name, ok := strings.Cut(key, "/")
+	if !ok || !blobName.MatchString(name) || strings.HasPrefix(name, "tmp-") {
+		return "", "", fmt.Errorf("store: invalid blob key %q", key)
+	}
+	for _, k := range kinds {
+		if kind == k {
+			return kind, name, nil
+		}
+	}
+	return "", "", fmt.Errorf("store: unknown blob kind %q", kind)
+}
+
+// DirBackend is the local-directory backend: one subdirectory per
+// artifact kind, atomic writes via a same-directory temp file, fsync and
+// rename, so a crash never leaves a partially-visible blob. It is the
+// Store's historical on-disk behaviour, factored out.
+type DirBackend struct {
+	dir string
+
+	mu      sync.Mutex
+	pending map[string]struct{} // temp files of in-flight writes
+}
+
+// NewDirBackend creates (or reopens) a directory backend rooted at dir:
+// kind subdirectories are created and temp files left by an interrupted
+// writer are removed.
+func NewDirBackend(dir string) (*DirBackend, error) {
+	b := &DirBackend{dir: dir, pending: make(map[string]struct{})}
+	for _, kind := range kinds {
+		sub := filepath.Join(dir, kind)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		des, err := os.ReadDir(sub)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		for _, de := range des {
+			if !de.IsDir() && strings.HasPrefix(de.Name(), "tmp-") {
+				os.Remove(filepath.Join(sub, de.Name()))
+			}
+		}
+	}
+	return b, nil
+}
+
+// Dir returns the backend's root directory.
+func (b *DirBackend) Dir() string { return b.dir }
+
+// Shared implements Backend: a directory backend is owned by one process.
+func (b *DirBackend) Shared() bool { return false }
+
+// Put implements Backend with the atomic temp-file protocol.
+func (b *DirBackend) Put(key string, data []byte) error {
+	full := filepath.Join(b.dir, filepath.FromSlash(key))
+	// Create and register the temp file under one lock hold: SweepTemps
+	// scans under the same lock, so it can never observe the file before
+	// it is marked in-flight.
+	b.mu.Lock()
+	f, err := os.CreateTemp(filepath.Dir(full), "tmp-*")
+	if err != nil {
+		b.mu.Unlock()
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	b.pending[tmp] = struct{}{}
+	b.mu.Unlock()
+	forget := func() {
+		b.mu.Lock()
+		delete(b.pending, tmp)
+		b.mu.Unlock()
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		forget()
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		forget()
+		return fmt.Errorf("store: writing %s: %w", key, err)
+	}
+	if err := os.Rename(tmp, full); err != nil {
+		os.Remove(tmp)
+		forget()
+		return fmt.Errorf("store: %w", err)
+	}
+	forget()
+	return nil
+}
+
+// Get implements Backend.
+func (b *DirBackend) Get(key string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(b.dir, filepath.FromSlash(key)))
+}
+
+// Delete implements Backend.
+func (b *DirBackend) Delete(key string) error {
+	err := os.Remove(filepath.Join(b.dir, filepath.FromSlash(key)))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// List implements Backend.
+func (b *DirBackend) List() ([]BlobInfo, error) {
+	var out []BlobInfo
+	for _, kind := range kinds {
+		sub := filepath.Join(b.dir, kind)
+		des, err := os.ReadDir(sub)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		for _, de := range des {
+			if de.IsDir() || strings.HasPrefix(de.Name(), "tmp-") {
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, BlobInfo{
+				Key:     kind + "/" + de.Name(),
+				Size:    info.Size(),
+				ModTime: info.ModTime(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// SweepTemps removes tmp-* files no in-flight write owns — debris from
+// writers that died between CreateTemp and rename — and returns how many
+// went.
+func (b *DirBackend) SweepTemps() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	swept := 0
+	for _, kind := range kinds {
+		sub := filepath.Join(b.dir, kind)
+		des, err := os.ReadDir(sub)
+		if err != nil {
+			continue
+		}
+		for _, de := range des {
+			if de.IsDir() || !strings.HasPrefix(de.Name(), "tmp-") {
+				continue
+			}
+			full := filepath.Join(sub, de.Name())
+			if _, busy := b.pending[full]; busy {
+				continue
+			}
+			if os.Remove(full) == nil {
+				swept++
+			}
+		}
+	}
+	return swept
+}
+
+// MemBackend is an in-memory backend for tests and ephemeral stores.
+type MemBackend struct {
+	mu    sync.Mutex
+	blobs map[string]memBlob
+}
+
+type memBlob struct {
+	data  []byte
+	added time.Time
+}
+
+// NewMemBackend creates an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{blobs: make(map[string]memBlob)}
+}
+
+// Shared implements Backend.
+func (b *MemBackend) Shared() bool { return false }
+
+// Put implements Backend.
+func (b *MemBackend) Put(key string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.blobs[key] = memBlob{data: append([]byte(nil), data...), added: time.Now()}
+	return nil
+}
+
+// Get implements Backend.
+func (b *MemBackend) Get(key string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bl, ok := b.blobs[key]
+	if !ok {
+		return nil, fmt.Errorf("store: %s: %w", key, fs.ErrNotExist)
+	}
+	return append([]byte(nil), bl.data...), nil
+}
+
+// Delete implements Backend.
+func (b *MemBackend) Delete(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.blobs, key)
+	return nil
+}
+
+// List implements Backend.
+func (b *MemBackend) List() ([]BlobInfo, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BlobInfo, 0, len(b.blobs))
+	for key, bl := range b.blobs {
+		out = append(out, BlobInfo{Key: key, Size: int64(len(bl.data)), ModTime: bl.added})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}

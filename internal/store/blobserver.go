@@ -1,0 +1,120 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"io/fs"
+	"net/http"
+	"strings"
+)
+
+// BlobPathPrefix is where the coordinator mounts its blob service; the
+// HTTPBackend client builds its URLs from the same constant.
+const BlobPathPrefix = "/v1/fleet/blobs"
+
+// maxBlobBody bounds one uploaded blob (a checkpoint of a large grid is
+// megabytes; anything near this limit is a protocol error, not data).
+const maxBlobBody = 64 << 20
+
+// BlobServer serves a Store's raw blobs over HTTP — the coordinator half
+// of the fleet store protocol, mounted at BlobPathPrefix:
+//
+//	GET    /v1/fleet/blobs              → JSON [ {key,size,mod_time} ]
+//	GET    /v1/fleet/blobs/{kind}/{name} → blob bytes (404 when missing)
+//	PUT    /v1/fleet/blobs/{kind}/{name} → store blob
+//	DELETE /v1/fleet/blobs/{kind}/{name} → remove blob
+//
+// Keys are validated by SplitKey, so network input cannot escape the
+// kind namespaces or collide with write temp files. A degraded store
+// (open circuit breaker) answers 503, which clients surface as a real
+// I/O failure — their own breakers then pause fleet store traffic.
+type BlobServer struct {
+	store *Store
+}
+
+// NewBlobServer wraps a store for HTTP serving.
+func NewBlobServer(s *Store) *BlobServer { return &BlobServer{store: s} }
+
+// ServeHTTP implements http.Handler.
+func (h *BlobServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, BlobPathPrefix)
+	rest = strings.TrimPrefix(rest, "/")
+	if rest == "" {
+		h.list(w, r)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		h.get(w, rest)
+	case http.MethodPut:
+		h.put(w, r, rest)
+	case http.MethodDelete:
+		h.delete(w, rest)
+	default:
+		w.Header().Set("Allow", "GET, PUT, DELETE")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (h *BlobServer) list(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	infos, err := h.store.ListBlobs()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if infos == nil {
+		infos = []BlobInfo{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(infos)
+}
+
+func (h *BlobServer) get(w http.ResponseWriter, key string) {
+	data, err := h.store.GetBlob(key)
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	case errors.Is(err, fs.ErrNotExist):
+		http.Error(w, "blob not found", http.StatusNotFound)
+	case errors.Is(err, ErrDegraded):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (h *BlobServer) put(w http.ResponseWriter, r *http.Request, key string) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBlobBody+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(data) > maxBlobBody {
+		http.Error(w, "blob too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	err = h.store.PutBlob(key, data)
+	switch {
+	case err == nil:
+		w.WriteHeader(http.StatusCreated)
+	case errors.Is(err, ErrDegraded):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (h *BlobServer) delete(w http.ResponseWriter, key string) {
+	if err := h.store.DeleteBlob(key); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}

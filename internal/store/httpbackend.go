@@ -1,0 +1,124 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPBackend is the remote blob backend of fleet mode: a client for the
+// coordinator's /v1/fleet/blobs endpoints, through which every worker
+// reads and writes the coordinator's store. It is Shared — the Store on
+// top keeps no local index and never garbage-collects (the coordinator
+// owns eviction), so a blob another worker stored a millisecond ago is
+// immediately visible here.
+//
+// Error mapping follows the Backend contract: HTTP 404 becomes
+// fs.ErrNotExist (a benign miss the breaker ignores), anything else —
+// transport failures, 5xx — surfaces as a real I/O error and counts
+// against the Store's circuit breaker, so a worker whose coordinator
+// vanishes degrades to compute-only instead of stalling on every lookup.
+type HTTPBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend creates a backend talking to the coordinator at base
+// (e.g. "http://coordinator:8080"). A nil client gets a modest default
+// timeout — blob payloads are small (kilobytes to a few megabytes).
+func NewHTTPBackend(base string, client *http.Client) *HTTPBackend {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTPBackend{base: strings.TrimRight(base, "/"), client: client}
+}
+
+// Shared implements Backend: the coordinator's store is multi-writer.
+func (b *HTTPBackend) Shared() bool { return true }
+
+func (b *HTTPBackend) url(key string) string {
+	return b.base + "/v1/fleet/blobs/" + key
+}
+
+// Put implements Backend.
+func (b *HTTPBackend) Put(key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, b.url(key), bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: putting %s: %w", key, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("store: putting %s: coordinator returned %s", key, resp.Status)
+	}
+	return nil
+}
+
+// Get implements Backend.
+func (b *HTTPBackend) Get(key string) ([]byte, error) {
+	resp, err := b.client.Get(b.url(key))
+	if err != nil {
+		return nil, fmt.Errorf("store: getting %s: %w", key, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("store: %s: %w", key, fs.ErrNotExist)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("store: getting %s: coordinator returned %s", key, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPayload))
+	if err != nil {
+		return nil, fmt.Errorf("store: getting %s: %w", key, err)
+	}
+	return data, nil
+}
+
+// Delete implements Backend.
+func (b *HTTPBackend) Delete(key string) error {
+	req, err := http.NewRequest(http.MethodDelete, b.url(key), nil)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: deleting %s: %w", key, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("store: deleting %s: coordinator returned %s", key, resp.Status)
+	}
+	return nil
+}
+
+// List implements Backend.
+func (b *HTTPBackend) List() ([]BlobInfo, error) {
+	resp, err := b.client.Get(b.base + "/v1/fleet/blobs")
+	if err != nil {
+		return nil, fmt.Errorf("store: listing blobs: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("store: listing blobs: coordinator returned %s", resp.Status)
+	}
+	var out []BlobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("store: listing blobs: %w", err)
+	}
+	return out, nil
+}
+
+// drain consumes and closes a response body so the connection is reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -1,5 +1,5 @@
-// Package store is the crash-safe, content-addressed on-disk artifact
-// store behind the scenario service's persistence: completed run results
+// Package store is the crash-safe, content-addressed artifact store
+// behind the scenario service's persistence: completed run results
 // (keyed by the full scenario hash), machine-independent physics records
 // — work trace plus ozone diagnostics — and hourly concentration
 // checkpoints (both keyed by the scenario physics-prefix hash,
@@ -8,23 +8,32 @@
 // consumable by core.Restart; results and records travel in a small
 // CRC-framed gob envelope.
 //
-// The durability contract is deliberately asymmetric: writes are atomic
-// (serialise to a temp file in the same directory, fsync, rename into
-// place) so a crash never leaves a partially-visible entry, while reads
-// are defensive — a truncated, bit-flipped or otherwise undecodable entry
-// fails its CRC or decode, is deleted, and reported as a miss. Callers
-// recompute; the store never propagates corruption and never crashes on
-// it. A size-capped GC evicts oldest-first when the configured byte
-// budget is exceeded, so the store can run unattended under a daemon.
+// Raw blob bytes live behind a pluggable Backend: the local directory
+// (DirBackend — the default, Open), an in-memory map (MemBackend), or a
+// remote coordinator over HTTP (HTTPBackend — how fleet workers share
+// one store). Everything above the Backend — envelopes, CRC
+// verification, counters, the circuit breaker, GC — is Backend-agnostic.
 //
-// The store self-protects against a failing disk with a circuit breaker:
-// after a streak of real I/O failures it opens and refuses further I/O
-// with ErrDegraded (reads report misses), so callers degrade to
-// compute-only operation instead of hammering broken storage. A periodic
-// half-open probe re-closes the breaker once I/O recovers. Benign
-// misses (file vanished under GC) never count against the breaker;
-// corruption does — repeated CRC failures mean the medium, not the
-// payload, is the problem.
+// The durability contract is deliberately asymmetric: writes are atomic
+// (the directory backend serialises to a temp file in the same
+// directory, fsyncs, renames into place) so a crash never leaves a
+// partially-visible entry, while reads are defensive — a truncated,
+// bit-flipped or otherwise undecodable entry fails its CRC or decode, is
+// deleted, and reported as a miss. Callers recompute; the store never
+// propagates corruption and never crashes on it. A size-capped GC evicts
+// oldest-first when the configured byte budget is exceeded, so the store
+// can run unattended under a daemon. A Store over a shared Backend keeps
+// no local index and never garbage-collects: the backend's owner (the
+// fleet coordinator) is the single GC authority.
+//
+// The store self-protects against failing I/O with a circuit breaker:
+// after a streak of real failures it opens and refuses further I/O with
+// ErrDegraded (reads report misses), so callers degrade to compute-only
+// operation instead of hammering broken storage. A periodic half-open
+// probe re-closes the breaker once I/O recovers. Benign misses (blob
+// vanished under GC) never count against the breaker; corruption does —
+// repeated CRC failures mean the medium, not the payload, is the
+// problem.
 //
 // All methods are safe for concurrent use. Lookups racing GC simply miss.
 package store
@@ -38,8 +47,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
-	"path/filepath"
+	"io/fs"
 	"sort"
 	"strings"
 	"sync"
@@ -51,7 +59,7 @@ import (
 )
 
 // ErrDegraded is returned by writes while the store's circuit breaker is
-// open: the disk is misbehaving and the store has paused I/O. Reads in
+// open: the backend is misbehaving and the store has paused I/O. Reads in
 // the same state report plain misses, so callers fall back to computing.
 var ErrDegraded = errors.New("store: degraded: circuit breaker open")
 
@@ -121,72 +129,85 @@ type Counters struct {
 	DegradedOps uint64
 	TempsSwept  uint64
 
-	// Gauges.
+	// Gauges (zero for a Store over a shared Backend, which keeps no
+	// local index).
 	Entries int
 	Bytes   int64
 }
 
-// entry is one on-disk artifact in the index.
+// entry is one stored artifact in the index.
 type entry struct {
 	size  int64
 	added time.Time
 }
 
-// Store is the on-disk artifact store. Create with Open.
+// Store is the artifact store. Create with Open (local directory) or
+// OpenBackend (any Backend).
 type Store struct {
-	dir      string
+	backend  Backend
+	shared   bool
 	maxBytes int64
 	breaker  *resilience.Breaker
 
-	mu           sync.Mutex
-	entries      map[string]entry // by relpath kind/hash.ext
-	bytes        int64
-	counters     Counters
-	pendingTemps map[string]struct{} // temp files of in-flight writes
+	mu       sync.Mutex
+	entries  map[string]entry // by relpath kind/hash.ext; nil when shared
+	bytes    int64
+	counters Counters
 }
 
-// Open creates (or reopens) a store rooted at dir, capped at maxBytes of
-// artifact data (<= 0 means unlimited). Existing entries are indexed;
-// leftover temp files from an interrupted write are removed.
+// Open creates (or reopens) a store rooted at the local directory dir,
+// capped at maxBytes of artifact data (<= 0 means unlimited). Existing
+// entries are indexed; leftover temp files from an interrupted write are
+// removed.
 func Open(dir string, maxBytes int64) (*Store, error) {
-	s := &Store{
-		dir:          dir,
-		maxBytes:     maxBytes,
-		breaker:      resilience.NewBreaker(resilience.DefaultBreakerThreshold, resilience.DefaultBreakerCooldown),
-		entries:      make(map[string]entry),
-		pendingTemps: make(map[string]struct{}),
+	b, err := NewDirBackend(dir)
+	if err != nil {
+		return nil, err
 	}
-	for _, kind := range []string{kindResult, kindRecord, kindCheckpoint} {
-		sub := filepath.Join(dir, kind)
-		if err := os.MkdirAll(sub, 0o755); err != nil {
-			return nil, fmt.Errorf("store: %w", err)
-		}
-		des, err := os.ReadDir(sub)
-		if err != nil {
-			return nil, fmt.Errorf("store: %w", err)
-		}
-		for _, de := range des {
-			if de.IsDir() {
-				continue
-			}
-			if strings.HasPrefix(de.Name(), "tmp-") {
-				os.Remove(filepath.Join(sub, de.Name()))
-				continue
-			}
-			info, err := de.Info()
-			if err != nil {
-				continue
-			}
-			rel := filepath.Join(kind, de.Name())
-			s.entries[rel] = entry{size: info.Size(), added: info.ModTime()}
-			s.bytes += info.Size()
-		}
+	return OpenBackend(b, maxBytes)
+}
+
+// OpenBackend creates a store over an arbitrary Backend. For an owned
+// (non-shared) backend the existing blobs are indexed and the byte cap
+// enforced by GC; for a shared backend the store keeps no index — every
+// lookup consults the backend, and GC is left to the backend's owner.
+func OpenBackend(b Backend, maxBytes int64) (*Store, error) {
+	s := &Store{
+		backend:  b,
+		shared:   b.Shared(),
+		maxBytes: maxBytes,
+		breaker:  resilience.NewBreaker(resilience.DefaultBreakerThreshold, resilience.DefaultBreakerCooldown),
+	}
+	if s.shared {
+		return s, nil
+	}
+	s.entries = make(map[string]entry)
+	infos, err := b.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, info := range infos {
+		s.entries[info.Key] = entry{size: info.Size, added: info.ModTime}
+		s.bytes += info.Size
 	}
 	return s, nil
 }
 
-// Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
+// Dir returns the root directory for a directory-backed store, "" for
+// any other backend.
+func (s *Store) Dir() string {
+	if db, ok := s.backend.(*DirBackend); ok {
+		return db.Dir()
+	}
+	return ""
+}
+
+// Backend returns the store's raw blob backend.
+func (s *Store) Backend() Backend { return s.backend }
+
+// Shared reports whether the store sits on a shared backend (no local
+// index, no local GC).
+func (s *Store) Shared() bool { return s.shared }
 
 // Breaker returns the store's circuit breaker (never nil) for state
 // inspection and tuning.
@@ -238,19 +259,19 @@ func (s *Store) Counters() Counters {
 	return c
 }
 
-// relpath builds the index key / on-disk location of an artifact.
+// relpath builds the index key / backend location of an artifact.
 func relpath(kind, hash, ext string) (string, error) {
 	if hash == "" || strings.ContainsAny(hash, "/\\.") {
 		return "", fmt.Errorf("store: invalid artifact hash %q", hash)
 	}
-	return filepath.Join(kind, hash+ext), nil
+	return kind + "/" + hash + ext, nil
 }
 
-// writeAtomic serialises data to rel via a same-directory temp file and
-// rename, then indexes it and runs GC. While the breaker is open it
-// refuses immediately with ErrDegraded; any real failure (including an
-// injected one) feeds the breaker.
-func (s *Store) writeAtomic(rel string, write func(io.Writer) error) error {
+// writeBlob pushes data to the backend under rel, then indexes it and
+// runs GC (owned backends only). While the breaker is open it refuses
+// immediately with ErrDegraded; any real failure (including an injected
+// one) feeds the breaker.
+func (s *Store) writeBlob(rel string, data []byte) error {
 	if !s.ioAllow() {
 		return ErrDegraded
 	}
@@ -258,72 +279,70 @@ func (s *Store) writeAtomic(rel string, write func(io.Writer) error) error {
 		s.ioFailure()
 		return fmt.Errorf("store: writing %s: %w", rel, err)
 	}
-	full := filepath.Join(s.dir, rel)
-	f, err := os.CreateTemp(filepath.Dir(full), "tmp-*")
-	if err != nil {
+	if err := s.backend.Put(rel, data); err != nil {
 		s.ioFailure()
-		return fmt.Errorf("store: %w", err)
-	}
-	tmp := f.Name()
-	s.mu.Lock()
-	s.pendingTemps[tmp] = struct{}{}
-	s.mu.Unlock()
-	forgetTemp := func() {
-		s.mu.Lock()
-		delete(s.pendingTemps, tmp)
-		s.mu.Unlock()
-	}
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		forgetTemp()
-		s.ioFailure()
-		return fmt.Errorf("store: writing %s: %w", rel, err)
-	}
-	if err := write(f); err != nil {
-		return fail(err)
-	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		forgetTemp()
-		s.ioFailure()
-		return fmt.Errorf("store: writing %s: %w", rel, err)
-	}
-	info, err := os.Stat(tmp)
-	if err != nil {
-		os.Remove(tmp)
-		forgetTemp()
-		s.ioFailure()
-		return fmt.Errorf("store: writing %s: %w", rel, err)
-	}
-	if err := os.Rename(tmp, full); err != nil {
-		os.Remove(tmp)
-		forgetTemp()
-		s.ioFailure()
-		return fmt.Errorf("store: %w", err)
+		return err
 	}
 	s.ioSuccess()
 
+	if s.shared {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.pendingTemps, tmp)
 	if old, ok := s.entries[rel]; ok {
 		s.bytes -= old.size
 	}
-	s.entries[rel] = entry{size: info.Size(), added: time.Now()}
-	s.bytes += info.Size()
+	s.entries[rel] = entry{size: int64(len(data)), added: time.Now()}
+	s.bytes += int64(len(data))
 	s.gcLocked(rel)
 	return nil
 }
 
+// readBlob fetches rel's bytes through the breaker and the fault
+// injector, booking hit/miss/fault counters for everything except
+// verification (the caller's job, since only it knows the format).
+// A false return is already fully booked as a miss.
+func (s *Store) readBlob(rel string) ([]byte, bool) {
+	if !s.shared {
+		if _, ok := s.lookup(rel); !ok {
+			return nil, false
+		}
+	}
+	if !s.ioAllow() {
+		s.mu.Lock()
+		s.counters.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	if err := resilience.Fire(resilience.PointStoreRead); err != nil {
+		s.ioFailure()
+		s.mu.Lock()
+		s.counters.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	data, err := s.backend.Get(rel)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			// Vanished under GC (or never shared-stored): a benign miss,
+			// not an I/O fault.
+			s.ioSuccess()
+		} else {
+			s.ioFailure()
+		}
+		s.miss(rel)
+		return nil, false
+	}
+	s.ioSuccess()
+	return data, true
+}
+
 // gcLocked evicts oldest-first until the byte budget holds again. The
 // just-written entry keep is never evicted (serving one oversized
-// artifact beats serving none); s.mu held.
+// artifact beats serving none); s.mu held. No-op on shared backends.
 func (s *Store) gcLocked(keep string) {
-	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+	if s.shared || s.maxBytes <= 0 || s.bytes <= s.maxBytes {
 		return
 	}
 	type aged struct {
@@ -354,63 +373,52 @@ func (s *Store) gcLocked(keep string) {
 	s.sweepTempsLocked()
 }
 
-// sweepTempsLocked removes tmp-* files that no in-flight write owns;
-// s.mu held.
+// sweepTempsLocked delegates the temp sweep to a backend that has one;
+// s.mu held (the backend synchronises itself — it never calls back into
+// the store).
 func (s *Store) sweepTempsLocked() int {
-	swept := 0
-	for _, kind := range []string{kindResult, kindRecord, kindCheckpoint} {
-		sub := filepath.Join(s.dir, kind)
-		des, err := os.ReadDir(sub)
-		if err != nil {
-			continue
-		}
-		for _, de := range des {
-			if de.IsDir() || !strings.HasPrefix(de.Name(), "tmp-") {
-				continue
-			}
-			full := filepath.Join(sub, de.Name())
-			if _, busy := s.pendingTemps[full]; busy {
-				continue
-			}
-			if os.Remove(full) == nil {
-				swept++
-				s.counters.TempsSwept++
-			}
-		}
+	sw, ok := s.backend.(interface{ SweepTemps() int })
+	if !ok {
+		return 0
 	}
-	return swept
+	n := sw.SweepTemps()
+	s.counters.TempsSwept += uint64(n)
+	return n
 }
 
 // SweepTemps removes orphaned temp files left by crashed writers (those
 // belonging to in-flight writes are skipped) and returns how many went.
+// Backends without write temp files sweep nothing.
 func (s *Store) SweepTemps() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sweepTempsLocked()
 }
 
-// removeLocked drops an entry from the index and the disk; s.mu held.
+// removeLocked drops an entry from the index and the backend; s.mu held.
 func (s *Store) removeLocked(rel string) {
 	if e, ok := s.entries[rel]; ok {
 		s.bytes -= e.size
 		delete(s.entries, rel)
 	}
-	os.Remove(filepath.Join(s.dir, rel))
+	_ = s.backend.Delete(rel)
 }
 
-// lookup resolves rel to a full path if indexed.
-func (s *Store) lookup(rel string) (string, bool) {
+// lookup checks rel against the local index (owned backends only; shared
+// stores go straight to the backend).
+func (s *Store) lookup(rel string) (entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.entries[rel]; !ok {
+	e, ok := s.entries[rel]
+	if !ok {
 		s.counters.Misses++
-		return "", false
+		return entry{}, false
 	}
-	return filepath.Join(s.dir, rel), true
+	return e, true
 }
 
 // miss books a plain miss discovered after the index lookup (e.g. the
-// file vanished under GC on another store handle).
+// blob vanished under GC on another store handle).
 func (s *Store) miss(rel string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -503,7 +511,11 @@ func (s *Store) putEnveloped(kind, hash, ext string, v any) error {
 	if err != nil {
 		return err
 	}
-	return s.writeAtomic(rel, func(w io.Writer) error { return writeEnvelope(w, v) })
+	var buf bytes.Buffer
+	if err := writeEnvelope(&buf, v); err != nil {
+		return fmt.Errorf("store: encoding %s: %w", rel, err)
+	}
+	return s.writeBlob(rel, buf.Bytes())
 }
 
 // getEnveloped reads and verifies one framed artifact into v. Index
@@ -514,58 +526,19 @@ func (s *Store) getEnveloped(kind, hash, ext string, v any) bool {
 	if err != nil {
 		return false
 	}
-	full, ok := s.lookup(rel)
+	data, ok := s.readBlob(rel)
 	if !ok {
 		return false
 	}
-	if !s.ioAllow() {
-		s.mu.Lock()
-		s.counters.Misses++
-		s.mu.Unlock()
-		return false
-	}
-	if err := resilience.Fire(resilience.PointStoreRead); err != nil {
+	if err := readEnvelope(bytes.NewReader(data), v); err != nil {
+		// Corruption counts against the breaker: one flipped bit is a
+		// payload problem, a streak is a medium problem.
 		s.ioFailure()
-		s.mu.Lock()
-		s.counters.Misses++
-		s.mu.Unlock()
+		s.corrupt(rel)
 		return false
 	}
-	f, err := os.Open(full)
-	if err != nil {
-		if os.IsNotExist(err) {
-			// Vanished under GC: a benign miss, not a disk fault.
-			s.ioSuccess()
-		} else {
-			s.ioFailure()
-		}
-		s.miss(rel)
-		return false
-	}
-	err = readEnvelope(f, v)
-	f.Close()
-	if err != nil {
-		s.ioFailure()
-		if isInjected(err) {
-			// An injected fault is a failed read, not bad data: keep
-			// the entry so a retry can still hit it.
-			s.miss(rel)
-		} else {
-			// Corruption counts against the breaker: one flipped bit
-			// is a payload problem, a streak is a medium problem.
-			s.corrupt(rel)
-		}
-		return false
-	}
-	s.ioSuccess()
 	s.hit()
 	return true
-}
-
-// isInjected reports whether err came from the fault injector.
-func isInjected(err error) bool {
-	var ie *resilience.InjectedError
-	return errors.As(err, &ie)
 }
 
 // PutResult stores a completed run result under the scenario hash.
@@ -615,72 +588,97 @@ func (s *Store) PutCheckpoint(prefixHash string, hour, ns, nl, ncells int, conc 
 	if err != nil {
 		return err
 	}
-	return s.writeAtomic(rel, func(w io.Writer) error {
-		_, err := hourio.WriteSnapshot(w, hour, ns, nl, ncells, conc)
-		return err
-	})
+	var buf bytes.Buffer
+	if _, err := hourio.WriteSnapshot(&buf, hour, ns, nl, ncells, conc); err != nil {
+		return fmt.Errorf("store: encoding %s: %w", rel, err)
+	}
+	return s.writeBlob(rel, buf.Bytes())
 }
 
-// Checkpoint verifies (full read, CRC) and returns the on-disk path and
-// hour of the checkpoint for a physics-prefix hash — the file is directly
-// consumable by core.Restart. Corrupt entries are deleted and reported as
-// a miss.
-func (s *Store) Checkpoint(prefixHash string) (path string, hour int, ok bool) {
+// Checkpoint verifies (full read, CRC) and returns the snapshot bytes
+// and hour of the checkpoint for a physics-prefix hash — the bytes are
+// directly consumable by core.RestartReader. Corrupt entries are deleted
+// and reported as a miss.
+func (s *Store) Checkpoint(prefixHash string) (data []byte, hour int, ok bool) {
 	rel, err := relpath(kindCheckpoint, prefixHash, ".snap")
 	if err != nil {
-		return "", 0, false
+		return nil, 0, false
 	}
-	full, ok := s.lookup(rel)
+	data, ok = s.readBlob(rel)
 	if !ok {
-		return "", 0, false
+		return nil, 0, false
 	}
-	if !s.ioAllow() {
-		s.mu.Lock()
-		s.counters.Misses++
-		s.mu.Unlock()
-		return "", 0, false
-	}
-	if err := resilience.Fire(resilience.PointStoreRead); err != nil {
-		s.ioFailure()
-		s.mu.Lock()
-		s.counters.Misses++
-		s.mu.Unlock()
-		return "", 0, false
-	}
-	f, err := os.Open(full)
-	if err != nil {
-		if os.IsNotExist(err) {
-			s.ioSuccess()
-		} else {
-			s.ioFailure()
-		}
-		s.miss(rel)
-		return "", 0, false
-	}
-	hour, _, _, _, _, _, err = hourio.ReadSnapshot(f)
-	f.Close()
+	hour, _, _, _, _, _, err = hourio.ReadSnapshot(bytes.NewReader(data))
 	if err != nil {
 		s.ioFailure()
-		if isInjected(err) {
-			s.miss(rel)
-		} else {
-			s.corrupt(rel)
-		}
-		return "", 0, false
+		s.corrupt(rel)
+		return nil, 0, false
 	}
-	s.ioSuccess()
 	s.hit()
-	return full, hour, true
+	return data, hour, true
 }
 
-// Len returns the number of indexed artifacts.
+// PutBlob stores an already-serialised artifact under a validated
+// "kind/name" key — the coordinator side of the fleet HTTP store, where
+// workers upload enveloped blobs they framed themselves. The blob is
+// indexed and GC'd like any locally-written artifact; its content is NOT
+// verified here (the reader's CRC check is the integrity authority).
+func (s *Store) PutBlob(key string, data []byte) error {
+	kind, name, err := SplitKey(key)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("store: empty blob %s", key)
+	}
+	return s.writeBlob(kind+"/"+name, data)
+}
+
+// GetBlob returns an artifact's raw bytes by "kind/name" key. A missing
+// blob reports fs.ErrNotExist; ErrDegraded while the breaker is open.
+func (s *Store) GetBlob(key string) ([]byte, error) {
+	kind, name, err := SplitKey(key)
+	if err != nil {
+		return nil, err
+	}
+	rel := kind + "/" + name
+	data, ok := s.readBlob(rel)
+	if !ok {
+		if s.Degraded() {
+			return nil, ErrDegraded
+		}
+		return nil, fmt.Errorf("store: %s: %w", rel, fs.ErrNotExist)
+	}
+	s.hit()
+	return data, nil
+}
+
+// DeleteBlob removes an artifact by "kind/name" key.
+func (s *Store) DeleteBlob(key string) error {
+	kind, name, err := SplitKey(key)
+	if err != nil {
+		return err
+	}
+	rel := kind + "/" + name
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeLocked(rel)
+	return nil
+}
+
+// ListBlobs enumerates the stored artifacts.
+func (s *Store) ListBlobs() ([]BlobInfo, error) {
+	return s.backend.List()
+}
+
+// Len returns the number of indexed artifacts (0 on shared backends).
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.entries)
 }
 
-// Bytes returns the indexed artifact volume.
+// Bytes returns the indexed artifact volume (0 on shared backends).
 func (s *Store) Bytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()

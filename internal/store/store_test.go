@@ -1,6 +1,8 @@
 package store
 
 import (
+	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -106,16 +108,17 @@ func TestCheckpointRoundTripAndRestart(t *testing.T) {
 	if err := s.PutCheckpoint("pfx", 0, sh.Species, sh.Layers, sh.Cells, res.Final); err != nil {
 		t.Fatal(err)
 	}
-	path, hour, ok := s.Checkpoint("pfx")
+	snap, hour, ok := s.Checkpoint("pfx")
 	if !ok || hour != 0 {
 		t.Fatalf("checkpoint lookup: ok=%v hour=%d", ok, hour)
 	}
-	// The stored file is directly consumable by the core restart path.
+	// The stored bytes are directly consumable by the core restart path.
 	ds, err := datasets.Mini()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cont, err := core.Restart(path, core.Config{Dataset: ds, Machine: machine.CrayT3E(), Nodes: 2, Hours: 1})
+	cont, err := core.RestartReaderContext(context.Background(), bytes.NewReader(snap),
+		core.Config{Dataset: ds, Machine: machine.CrayT3E(), Nodes: 2, Hours: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAwaitContextCancellation: Await must honour its context while the
+// sweep is mid-flight — returning ctx.Err() promptly, leaving the sweep
+// running — and a later Await with room to breathe still sees it finish.
+func TestAwaitContextCancellation(t *testing.T) {
+	e, _ := newEngine(t, "", 1) // one worker serialises the jobs
+	st, err := e.Start(Request{
+		Base: miniBase(2),
+		Grid: Grid{NOxScales: []float64{1.0, 0.8, 0.6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	if _, err := e.Await(ctx, st.ID); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Await under expired context returned %v, want deadline exceeded", err)
+	}
+	if waited := time.Since(begin); waited > 5*time.Second {
+		t.Errorf("cancelled Await blocked %v", waited)
+	}
+
+	// The cancellation was the caller's, not the sweep's: it still runs
+	// and still finishes.
+	mid, err := e.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.State == "done" && mid.Completed != mid.Total {
+		t.Errorf("inconsistent post-cancel snapshot: %+v", mid)
+	}
+	final := awaitSweep(t, e, st.ID)
+	if final.State != "done" || final.Completed != 3 || final.Failed != 0 {
+		t.Fatalf("sweep after cancelled Await: state=%s completed=%d failed=%d",
+			final.State, final.Completed, final.Failed)
+	}
+
+	// Await on an unknown ID fails regardless of context state.
+	if _, err := e.Await(context.Background(), "s9999"); !errors.Is(err, ErrUnknownSweep) {
+		t.Errorf("Await(unknown) = %v, want ErrUnknownSweep", err)
+	}
+}
+
+// TestStatusListMidFlightConsistency polls Status and List continuously
+// while a sweep runs, checking every snapshot for internal consistency:
+// the job count matches Total, every job is in a legal state, the
+// outcome tallies never exceed Total, completion never regresses, and
+// the sweep appears in List with the same identity throughout.
+func TestStatusListMidFlightConsistency(t *testing.T) {
+	e, _ := newEngine(t, "", 1)
+	st, err := e.Start(Request{
+		Base: miniBase(1),
+		Grid: Grid{NOxScales: []float64{1.0, 0.9, 0.8, 0.7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legal := map[string]bool{
+		"pending": true, "queued": true, "running": true,
+		"done": true, "failed": true, "cancelled": true,
+	}
+	check := func(s Status) {
+		t.Helper()
+		if len(s.Jobs) != s.Total {
+			t.Fatalf("snapshot lists %d jobs, Total=%d", len(s.Jobs), s.Total)
+		}
+		finished := 0
+		for _, j := range s.Jobs {
+			if !legal[j.State] {
+				t.Fatalf("job in illegal state %q: %+v", j.State, j)
+			}
+			if j.State == "done" || j.State == "failed" || j.State == "cancelled" {
+				finished++
+			}
+		}
+		if got := s.Completed + s.Failed + s.Cancelled; got != finished {
+			t.Fatalf("tallies %d (completed=%d failed=%d cancelled=%d) disagree with %d finished jobs",
+				got, s.Completed, s.Failed, s.Cancelled, finished)
+		}
+		if s.Completed+s.Failed+s.Cancelled > s.Total {
+			t.Fatalf("tallies exceed Total: %+v", s)
+		}
+		if s.State == "done" && s.Completed+s.Failed+s.Cancelled != s.Total {
+			t.Fatalf("done sweep with unfinished jobs: %+v", s)
+		}
+	}
+
+	prevCompleted := 0
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep did not finish")
+		}
+		snap, err := e.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(snap)
+		if snap.Completed < prevCompleted {
+			t.Fatalf("completion regressed: %d -> %d", prevCompleted, snap.Completed)
+		}
+		prevCompleted = snap.Completed
+
+		// List must agree with Status about this sweep's identity.
+		found := false
+		for _, ls := range e.List() {
+			check(ls)
+			if ls.ID == st.ID {
+				found = true
+				if ls.Total != snap.Total || ls.Name != snap.Name {
+					t.Fatalf("List entry diverges from Status: %+v vs %+v", ls, snap)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("sweep %s missing from List", st.ID)
+		}
+		if snap.State == "done" {
+			if snap.Completed != 4 || snap.Failed != 0 {
+				t.Fatalf("final snapshot: %+v", snap)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
