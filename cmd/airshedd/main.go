@@ -17,7 +17,12 @@
 //	POST /v1/sweeps        submit a batch study (JSON sweep.Request)
 //	GET  /v1/sweeps        list sweeps
 //	GET  /v1/sweeps/{id}   sweep progress + aggregate policy table
-//	GET  /v1/predict       analytic prediction (?dataset=&machine=&nodes=&hours=)
+//	GET  /v1/predict       analytic *performance* prediction (runtime/memory
+//	                       from the Section 4 model; ?dataset=&machine=&nodes=&hours=)
+//	POST /v1/sr/build      build (or attach to) a source–receptor matrix (JSON sr.Set)
+//	POST /v1/sr/predict    *concentration* prediction for an emission scenario via
+//	                       SR matvec — microseconds, zero simulation
+//	GET  /v1/sr/matrices   list resident SR matrices
 //	GET  /healthz          liveness
 //	GET  /metrics          plain-text scheduler + store counters
 //

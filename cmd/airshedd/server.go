@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"airshed/internal/report"
 	"airshed/internal/scenario"
 	"airshed/internal/sched"
+	"airshed/internal/sr"
 	"airshed/internal/store"
 	"airshed/internal/sweep"
 )
@@ -58,7 +60,8 @@ type server struct {
 	coord   *fleet.Coordinator // nil unless -fleet-coordinator
 	role    string             // "coordinator", "worker", or "" standalone
 	sweeps  *sweep.Engine
-	profile bool // expose net/http/pprof under /debug/pprof/
+	sr      *sr.Service // source–receptor matrix builds + serving
+	profile bool        // expose net/http/pprof under /debug/pprof/
 
 	traceMu sync.Mutex
 	traces  map[string]*traceEntry
@@ -71,12 +74,14 @@ type traceEntry struct {
 }
 
 func newServer(s *sched.Scheduler, st *store.Store, profile bool, coord *fleet.Coordinator, role string) *server {
+	sweeps := sweep.NewEngine(s)
 	return &server{
 		sched:   s,
 		store:   st,
 		coord:   coord,
 		role:    role,
-		sweeps:  sweep.NewEngine(s),
+		sweeps:  sweeps,
+		sr:      sr.NewService(sr.NewBuilder(sweeps)),
 		profile: profile,
 		traces:  make(map[string]*traceEntry),
 	}
@@ -90,7 +95,15 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	// Two distinct predict paths. GET /v1/predict is "perf-predict": the
+	// §4 analytic *performance* model — how long would this run take on
+	// that machine. POST /v1/sr/predict is the source–receptor
+	// *concentration* path — what would the air quality be under these
+	// emissions, answered by matvec against a prebuilt SR matrix.
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/sr/build", s.handleSRBuild)
+	mux.HandleFunc("POST /v1/sr/predict", s.handleSRPredict)
+	mux.HandleFunc("GET /v1/sr/matrices", s.handleSRMatrices)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.coord != nil {
@@ -224,6 +237,87 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		resp.Summary = report.Summarize(st.Result)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// srBuildResponse acknowledges an SR matrix build request.
+type srBuildResponse struct {
+	Key string `json:"key"`
+	// State is "ready" (matrix resident/stored, usable now) or
+	// "building" (perturbation runs in flight; the build's sweep is
+	// visible under GET /v1/sweeps as "sr:<key prefix>").
+	State string         `json:"state"`
+	Info  *sr.MatrixInfo `json:"info,omitempty"`
+}
+
+// handleSRBuild launches — or attaches to — the build of the matrix an
+// sr.Set describes. The call never blocks on simulation: a matrix
+// already resident or stored answers 200 "ready", otherwise the build
+// starts (or is already running; builds are single-flight by matrix
+// key) and the answer is 202 "building". Clients poll by re-POSTing
+// the same set, or watch the underlying sweep.
+func (s *server) handleSRBuild(w http.ResponseWriter, r *http.Request) {
+	var set sr.Set
+	if !decodeBody(w, r, &set, "sr set") {
+		return
+	}
+	if err := set.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := set.Normalize().Key()
+	if m, err := s.sr.Lookup(key); err == nil {
+		info := matrixInfo(m)
+		writeJSON(w, http.StatusOK, srBuildResponse{Key: key, State: "ready", Info: &info})
+		return
+	}
+	if !s.sr.Building(key) {
+		go s.sr.Build(context.Background(), set) //nolint:errcheck // attachable via re-POST
+	}
+	writeJSON(w, http.StatusAccepted, srBuildResponse{Key: key, State: "building"})
+}
+
+func matrixInfo(m *sr.Matrix) sr.MatrixInfo {
+	return sr.MatrixInfo{
+		Key:       m.Key,
+		Dataset:   m.Base.Dataset,
+		Hours:     m.Hours,
+		Groups:    m.Groups,
+		Step:      m.Step,
+		Receptors: m.Receptors,
+		Columns:   len(m.Columns),
+	}
+}
+
+// srPredictRequest names a matrix and embeds the emission query.
+type srPredictRequest struct {
+	MatrixKey string `json:"matrix_key"`
+	sr.Query
+}
+
+// handleSRPredict answers POST /v1/sr/predict: concentrations and
+// PopExp exposure for an arbitrary emission scenario via matrix–vector
+// product against a built SR matrix — zero simulation per query.
+func (s *server) handleSRPredict(w http.ResponseWriter, r *http.Request) {
+	var req srPredictRequest
+	if !decodeBody(w, r, &req, "sr predict") {
+		return
+	}
+	p, err := s.sr.Predict(req.MatrixKey, req.Query)
+	if err != nil {
+		var miss *sr.ErrNoMatrix
+		if errors.As(err, &miss) {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// handleSRMatrices lists the resident matrices.
+func (s *server) handleSRMatrices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sr.Matrices())
 }
 
 // predictResponse is the analytic model's answer.
@@ -370,10 +464,12 @@ type healthResponse struct {
 	Store        string `json:"store,omitempty"`         // breaker state when a store is attached
 	FleetRole    string `json:"fleet_role,omitempty"`    // "coordinator" or "worker"
 	FleetWorkers int    `json:"fleet_workers,omitempty"` // live workers (coordinator only)
+	SRMatrices   int    `json:"sr_matrices"`             // SR matrices resident in memory
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := healthResponse{Status: "ok", Version: version, FleetRole: s.role}
+	h.SRMatrices = s.sr.Metrics().Resident
 	if s.store != nil {
 		h.Store = s.store.Breaker().State().String()
 		if s.store.Degraded() {
@@ -439,6 +535,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "airshedd_fleet_shards_dispatched_total %d\n", g.ShardsDispatched)
 		fmt.Fprintf(w, "airshedd_fleet_shards_reassigned_total %d\n", g.ShardsReassigned)
 	}
+	sm := s.sr.Metrics()
+	fmt.Fprintf(w, "airshedd_sr_predicts_total %d\n", sm.Predicts)
+	fmt.Fprintf(w, "airshedd_sr_matrix_builds_total %d\n", sm.Builds)
+	fmt.Fprintf(w, "airshedd_sr_serve_seconds_sum %g\n", sm.ServeSeconds)
+	fmt.Fprintf(w, "airshedd_sr_serve_seconds_count %d\n", sm.ServeCount)
+	fmt.Fprintf(w, "airshedd_sr_matrices_resident %d\n", sm.Resident)
 	// Host execution engine gauges. Jobs run on the process-wide shared
 	// engine unless -host-workers pins dedicated per-job pools, so these
 	// reflect the chunk-level parallelism underneath the scheduler's

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"airshed/internal/sched"
+	"airshed/internal/sr"
+	"airshed/internal/store"
+)
+
+func postJSON(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+// The SR endpoints round-trip end to end: an async build request is
+// acknowledged immediately, polling the same set flips to "ready", and
+// predicts then answer from the matrix without touching the scheduler.
+func TestSRBuildAndPredictEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed; skipped in -short")
+	}
+	st, err := store.Open(t.TempDir(), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, scheduler := testServer(t, sched.Options{Workers: 2, Store: st})
+
+	setBody := `{"base":{"dataset":"mini","machine":"gohost","nodes":1,"hours":1},"groups":1,"knobs":["nox"]}`
+	code, raw := postJSON(t, ts, "/v1/sr/build", setBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("first build POST: %d %s", code, raw)
+	}
+	var ack srBuildResponse
+	if err := json.Unmarshal(raw, &ack); err != nil || ack.Key == "" || ack.State != "building" {
+		t.Fatalf("bad build ack %q: %v", raw, err)
+	}
+
+	// Poll by re-POSTing the same set until the matrix is ready.
+	deadline := time.Now().Add(2 * time.Minute)
+	for ack.State != "ready" {
+		if time.Now().After(deadline) {
+			t.Fatal("matrix build did not finish in time")
+		}
+		time.Sleep(100 * time.Millisecond)
+		code, raw = postJSON(t, ts, "/v1/sr/build", setBody)
+		if code != http.StatusOK && code != http.StatusAccepted {
+			t.Fatalf("poll POST: %d %s", code, raw)
+		}
+		if err := json.Unmarshal(raw, &ack); err != nil {
+			t.Fatalf("bad poll response %q: %v", raw, err)
+		}
+	}
+	if ack.Info == nil || ack.Info.Columns != 2 || ack.Info.Key != ack.Key {
+		t.Fatalf("ready ack missing matrix info: %s", raw)
+	}
+
+	// Predict against the built matrix — pure matvec, no job submitted.
+	before := scheduler.Counters().Submitted
+	code, raw = postJSON(t, ts, "/v1/sr/predict",
+		`{"matrix_key":"`+ack.Key+`","nox_scale":1.05}`)
+	if code != http.StatusOK {
+		t.Fatalf("predict: %d %s", code, raw)
+	}
+	var pred sr.Prediction
+	if err := json.Unmarshal(raw, &pred); err != nil {
+		t.Fatal(err)
+	}
+	if pred.MatrixKey != ack.Key || len(pred.GroundO3) == 0 || pred.PeakO3 <= 0 {
+		t.Fatalf("implausible prediction: %s", raw)
+	}
+	if got := scheduler.Counters().Submitted; got != before {
+		t.Fatalf("predict submitted %d jobs; must be zero-simulation", got-before)
+	}
+
+	// The matrices listing and healthz residency agree.
+	resp, err := http.Get(ts.URL + "/v1/sr/matrices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []sr.MatrixInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].Key != ack.Key {
+		t.Fatalf("matrices listing: %+v", infos)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.SRMatrices != 1 {
+		t.Fatalf("healthz sr_matrices = %d, want 1", h.SRMatrices)
+	}
+
+	// Metrics export the SR counters.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"airshedd_sr_predicts_total 1",
+		"airshedd_sr_matrix_builds_total 1",
+		"airshedd_sr_matrices_resident 1",
+		"airshedd_sr_serve_seconds_count 1",
+		"airshedd_sr_serve_seconds_sum ",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// Error mapping: unknown matrix keys are 404 (typed miss), malformed
+// sets and queries are 400 — and never 500.
+func TestSREndpointErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a scheduler; skipped in -short")
+	}
+	ts, _ := testServer(t, sched.Options{Workers: 1})
+
+	code, raw := postJSON(t, ts, "/v1/sr/predict", `{"matrix_key":"deadbeef"}`)
+	if code != http.StatusNotFound {
+		t.Errorf("unknown key: got %d %s, want 404", code, raw)
+	}
+	code, raw = postJSON(t, ts, "/v1/sr/predict", `{"nox_scale":`)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad JSON: got %d %s, want 400", code, raw)
+	}
+	code, raw = postJSON(t, ts, "/v1/sr/build",
+		`{"base":{"dataset":"mini","machine":"gohost","nodes":1,"hours":1},"groups":0}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("invalid set: got %d %s, want 400", code, raw)
+	}
+	code, raw = postJSON(t, ts, "/v1/sr/build",
+		`{"base":{"dataset":"mini","machine":"gohost","nodes":1,"hours":1},"groups":2,"bogus":1}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown field: got %d %s, want 400", code, raw)
+	}
+}

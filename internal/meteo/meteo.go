@@ -89,6 +89,18 @@ type Scenario struct {
 	BaseTempK float64
 	// PointSources lists elevated SO2/NOx stacks.
 	PointSources []PointSource
+	// SourceMask, when non-nil, selects the cells of one source group
+	// for source–receptor perturbation runs: the NOx and VOC traffic
+	// emission shares of cells with SourceMask[cell]==true are further
+	// multiplied by GroupNOx and GroupVOC. The mask must cover every
+	// grid cell. Point sources, CO/SO2 co-emissions and biogenics are
+	// untouched — the group knobs perturb exactly the shares the global
+	// NOxScale/VOCScale knobs control, so scaling every group by s is
+	// equivalent to scaling NOxScale/VOCScale by s.
+	SourceMask []bool
+	// GroupNOx, GroupVOC multiply the masked cells' NOx/VOC shares.
+	// Ignored when SourceMask is nil.
+	GroupNOx, GroupVOC float64
 }
 
 // PointSource is an elevated industrial emitter.
@@ -110,6 +122,8 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("meteo: emission scales must be non-negative")
 	case s.BaseTempK <= 0:
 		return fmt.Errorf("meteo: BaseTempK must be positive")
+	case s.SourceMask != nil && (s.GroupNOx < 0 || s.GroupVOC < 0):
+		return fmt.Errorf("meteo: group emission scales must be non-negative")
 	}
 	return nil
 }
@@ -133,6 +147,10 @@ func NewSynthetic(scn Scenario, g *grid.Grid, mech *species.Mechanism, geo *chem
 	}
 	if len(g.Cells) == 0 {
 		return nil, fmt.Errorf("meteo: grid not finalized")
+	}
+	if scn.SourceMask != nil && len(scn.SourceMask) != len(g.Cells) {
+		return nil, fmt.Errorf("meteo: source mask covers %d cells, grid has %d",
+			len(scn.SourceMask), len(g.Cells))
 	}
 	s := &Synthetic{scn: scn, g: g, mech: mech, geo: geo}
 	s.iNO = mech.MustIndex("NO")
@@ -278,16 +296,21 @@ func (s *Synthetic) HourInput(hour int) (*HourInput, error) {
 		if kernel < 1e-4 {
 			kernel = 1e-4 // rural floor
 		}
-		in.Emis[s.iNO][i] = 2.4e-3 * nox * kernel
-		in.Emis[s.iNO2][i] = 4.0e-4 * nox * kernel
+		noxC, vocC := nox, voc
+		if s.scn.SourceMask != nil && s.scn.SourceMask[i] {
+			noxC *= s.scn.GroupNOx
+			vocC *= s.scn.GroupVOC
+		}
+		in.Emis[s.iNO][i] = 2.4e-3 * noxC * kernel
+		in.Emis[s.iNO2][i] = 4.0e-4 * noxC * kernel
 		in.Emis[s.iCO][i] = 2.0e-2 * traffic * kernel
-		in.Emis[s.iPAR][i] = 9.0e-3 * voc * kernel
-		in.Emis[s.iOLE][i] = 8.0e-4 * voc * kernel
-		in.Emis[s.iETH][i] = 9.0e-4 * voc * kernel
-		in.Emis[s.iTOL][i] = 7.0e-4 * voc * kernel
-		in.Emis[s.iXYL][i] = 5.0e-4 * voc * kernel
-		in.Emis[s.iFORM][i] = 3.0e-4 * voc * kernel
-		in.Emis[s.iALD2][i] = 2.0e-4 * voc * kernel
+		in.Emis[s.iPAR][i] = 9.0e-3 * vocC * kernel
+		in.Emis[s.iOLE][i] = 8.0e-4 * vocC * kernel
+		in.Emis[s.iETH][i] = 9.0e-4 * vocC * kernel
+		in.Emis[s.iTOL][i] = 7.0e-4 * vocC * kernel
+		in.Emis[s.iXYL][i] = 5.0e-4 * vocC * kernel
+		in.Emis[s.iFORM][i] = 3.0e-4 * vocC * kernel
+		in.Emis[s.iALD2][i] = 2.0e-4 * vocC * kernel
 		in.Emis[s.iSO2][i] = 6.0e-4 * traffic * kernel
 		// Biogenic isoprene: rural daytime, temperature dependent.
 		bio := sun * (1 - kernel) * 6.0e-4

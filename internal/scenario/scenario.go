@@ -24,6 +24,7 @@ import (
 	"airshed/internal/chemistry"
 	"airshed/internal/core"
 	"airshed/internal/datasets"
+	"airshed/internal/dist"
 	"airshed/internal/machine"
 	"airshed/internal/meteo"
 )
@@ -33,6 +34,11 @@ const (
 	ModeData = "data"
 	ModeTask = "task"
 )
+
+// MaxSourceGroups bounds Spec.SourceGroups: more groups than any of the
+// data-set grids has cells would only produce empty partitions, and a
+// huge count is a request error, not a reason to allocate.
+const MaxSourceGroups = 4096
 
 // Spec is one scenario: a complete, canonicalisable description of a run.
 // The zero values of the optional fields mean "default" and normalize to
@@ -70,6 +76,24 @@ type Spec struct {
 	// MaxStepsPerHour caps the runtime-determined step count; zero means
 	// the core default.
 	MaxStepsPerHour int `json:"max_steps_per_hour,omitempty"`
+
+	// SourceGroups partitions the grid cells into that many contiguous
+	// source groups (dist.BlockOwner blocks in cell order) for
+	// source–receptor perturbation runs; zero means no partition. When
+	// set, SourceGroup selects the perturbed group (0-based) and
+	// GroupNOxScale/GroupVOCScale multiply that group's anthropogenic
+	// NOx and organic emission shares on top of NOxScale/VOCScale —
+	// scaling every group by s is (numerically) the same run as scaling
+	// NOxScale by s, which is the additivity the SR matrix exploits.
+	// Unit group scales collapse to SourceGroups=0, so no-op
+	// perturbations share the base hash.
+	SourceGroups int `json:"source_groups,omitempty"`
+	// SourceGroup is the perturbed group index in [0, SourceGroups).
+	SourceGroup int `json:"source_group,omitempty"`
+	// GroupNOxScale and GroupVOCScale multiply the perturbed group's
+	// emission shares. Zero means 1.0 (no perturbation).
+	GroupNOxScale float64 `json:"group_nox_scale,omitempty"`
+	GroupVOCScale float64 `json:"group_voc_scale,omitempty"`
 }
 
 // Normalize returns the canonical form of the spec: keys lower-cased,
@@ -94,6 +118,18 @@ func (s Spec) Normalize() Spec {
 	// zero so no-op variants share one hash.
 	if (s.NOxScale == 1.0 && s.VOCScale == 1.0) || s.ControlStartHour <= s.StartHour {
 		s.ControlStartHour = 0
+	}
+	if s.GroupNOxScale == 0 {
+		s.GroupNOxScale = 1.0
+	}
+	if s.GroupVOCScale == 0 {
+		s.GroupVOCScale = 1.0
+	}
+	// A group perturbation with unit scales is physically the base run:
+	// collapse the partition so it shares the base hash. (Non-unit group
+	// scales without a partition are left alone for Validate to reject.)
+	if s.GroupNOxScale == 1.0 && s.GroupVOCScale == 1.0 {
+		s.SourceGroups, s.SourceGroup = 0, 0
 	}
 	return s
 }
@@ -128,6 +164,17 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: chem_rel_tol must be non-negative, got %g", n.ChemRelTol)
 	case n.MaxStepsPerHour < 0:
 		return fmt.Errorf("scenario: max_steps_per_hour must be non-negative, got %d", n.MaxStepsPerHour)
+	case n.GroupNOxScale <= 0 || n.GroupVOCScale <= 0:
+		return fmt.Errorf("scenario: group scales must be positive, got group_nox=%g group_voc=%g",
+			n.GroupNOxScale, n.GroupVOCScale)
+	case n.SourceGroups < 0 || n.SourceGroups > MaxSourceGroups:
+		return fmt.Errorf("scenario: source_groups must be in [0, %d], got %d", MaxSourceGroups, n.SourceGroups)
+	case n.SourceGroups == 0 && (n.GroupNOxScale != 1.0 || n.GroupVOCScale != 1.0):
+		return fmt.Errorf("scenario: group scales need source_groups > 0")
+	case n.SourceGroups > 0 && (n.SourceGroup < 0 || n.SourceGroup >= n.SourceGroups):
+		return fmt.Errorf("scenario: source_group must be in [0, %d), got %d", n.SourceGroups, n.SourceGroup)
+	case n.SourceGroups > 0 && n.ControlStartHour > 0:
+		return fmt.Errorf("scenario: source-group perturbations are whole-run; combine with control_start_hour is not supported")
 	}
 	if _, err := machine.ByName(n.Machine); err != nil {
 		return fmt.Errorf("scenario: unknown machine %q (known: %s)", s.Machine, strings.Join(machine.Names(), ", "))
@@ -156,6 +203,16 @@ func (s Spec) Hash() string {
 	fmt.Fprintf(h, "chem_rel_tol=%g\n", n.ChemRelTol)
 	fmt.Fprintf(h, "max_steps_per_hour=%d\n", n.MaxStepsPerHour)
 	fmt.Fprintf(h, "control_start_hour=%d\n", n.ControlStartHour)
+	// The source-group lines appear only for an active perturbation
+	// (Normalize collapses the inactive case to SourceGroups == 0), so
+	// every pre-existing spec keeps its historical hash. The non-empty
+	// encoding is unambiguous: it always carries all four fields.
+	if n.SourceGroups > 0 {
+		fmt.Fprintf(h, "source_groups=%d\n", n.SourceGroups)
+		fmt.Fprintf(h, "source_group=%d\n", n.SourceGroup)
+		fmt.Fprintf(h, "group_nox_scale=%g\n", n.GroupNOxScale)
+		fmt.Fprintf(h, "group_voc_scale=%g\n", n.GroupVOCScale)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -193,6 +250,15 @@ func (s Spec) PhysicsPrefixHash(k int) string {
 	fmt.Fprintf(h, "control_start_hour=%d\n", cs)
 	fmt.Fprintf(h, "chem_rel_tol=%g\n", n.ChemRelTol)
 	fmt.Fprintf(h, "max_steps_per_hour=%d\n", n.MaxStepsPerHour)
+	// Source-group perturbations are active from StartHour, so they are
+	// part of every prefix's physics. Conditional for the same
+	// hash-stability reason as in Hash.
+	if n.SourceGroups > 0 {
+		fmt.Fprintf(h, "source_groups=%d\n", n.SourceGroups)
+		fmt.Fprintf(h, "source_group=%d\n", n.SourceGroup)
+		fmt.Fprintf(h, "group_nox_scale=%g\n", n.GroupNOxScale)
+		fmt.Fprintf(h, "group_voc_scale=%g\n", n.GroupVOCScale)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -234,18 +300,38 @@ func (s Spec) Config() (core.Config, error) {
 		return core.Config{}, err
 	}
 	var controlProv *meteo.Synthetic
-	if n.NOxScale != 1.0 || n.VOCScale != 1.0 {
+	if n.NOxScale != 1.0 || n.VOCScale != 1.0 || n.SourceGroups > 0 {
 		scn := ds.Provider.Scenario()
 		scn.NOxScale *= n.NOxScale
 		scn.VOCScale *= n.VOCScale
-		scn.Name = fmt.Sprintf("%s (NOx x%.2f, VOC x%.2f)", scn.Name, n.NOxScale, n.VOCScale)
+		if n.NOxScale != 1.0 || n.VOCScale != 1.0 {
+			scn.Name = fmt.Sprintf("%s (NOx x%.2f, VOC x%.2f)", scn.Name, n.NOxScale, n.VOCScale)
+		}
+		if n.SourceGroups > 0 {
+			// Source-group perturbation: the group's cells are the
+			// contiguous BLOCK interval of the cell index space, so the
+			// partition is a pure function of (grid, group count) —
+			// exactly what the SR matrix key relies on.
+			mask := make([]bool, ds.Grid().NumCells())
+			iv := dist.BlockOwner(len(mask), n.SourceGroups, n.SourceGroup)
+			for i := iv.Lo; i < iv.Hi; i++ {
+				mask[i] = true
+			}
+			scn.SourceMask = mask
+			scn.GroupNOx = n.GroupNOxScale
+			scn.GroupVOC = n.GroupVOCScale
+			scn.Name = fmt.Sprintf("%s (group %d/%d NOx x%.2f, VOC x%.2f)",
+				scn.Name, n.SourceGroup, n.SourceGroups, n.GroupNOxScale, n.GroupVOCScale)
+		}
 		prov, err := meteo.NewSynthetic(scn, ds.Grid(), ds.Mechanism(), ds.Geometry())
 		if err != nil {
 			return core.Config{}, err
 		}
 		if n.ControlStartHour > 0 {
 			// Delayed controls: the base inventory drives hours before
-			// ControlStartHour, the scaled one from it on.
+			// ControlStartHour, the scaled one from it on. (Validate
+			// rejects delayed controls combined with source groups, so
+			// this branch never carries a mask.)
 			controlProv = prov
 		} else {
 			ds.Provider = prov
@@ -286,6 +372,10 @@ func (s Spec) String() string {
 		if n.ControlStartHour > 0 {
 			out += fmt.Sprintf(" from_hour=%d", n.ControlStartHour)
 		}
+	}
+	if n.SourceGroups > 0 {
+		out += fmt.Sprintf(" group=%d/%d gnox=%g gvoc=%g",
+			n.SourceGroup, n.SourceGroups, n.GroupNOxScale, n.GroupVOCScale)
 	}
 	return out
 }

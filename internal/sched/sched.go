@@ -529,6 +529,11 @@ func (s *Scheduler) Cancel(id string) error {
 // store (results survive restarts, runs warm-start).
 func (s *Scheduler) Persistent() bool { return s.opts.Store != nil }
 
+// Store returns the scheduler's artifact store, or nil when it runs
+// compute-only. Layers above the scheduler (sweep, sr) use it to read
+// and persist their own artifact kinds next to the run results.
+func (s *Scheduler) Store() *store.Store { return s.opts.Store }
+
 // Counters snapshots the metrics.
 func (s *Scheduler) Counters() Counters {
 	s.mu.Lock()

@@ -1,0 +1,416 @@
+// Package sr implements the source–receptor (SR) matrix subsystem: the
+// reduced-form serving path of the airshed model. A full simulation
+// answers one emission-control scenario per run; the SR matrix answers
+// arbitrary scenarios as a matrix–vector product by precomputing the
+// model's response to a canonical set of emission perturbations once.
+//
+// The pattern follows InMAP's sr package: run the chemical transport
+// model once per source perturbation, difference each perturbed run
+// against the base run to obtain finite-difference sensitivity columns,
+// and serve any emission scenario in the perturbations' span as
+//
+//	C(q) ≈ C_base + Σ_k delta_k(q) · S_k,   S_k = (C_k − C_base)/step
+//
+// where the perturbations k are the global NOx and VOC emission knobs
+// plus the same knobs restricted to each of G contiguous source groups
+// (dist.BlockOwner blocks of the grid's cell order — the same partition
+// primitive the virtual machine uses, so the grouping is a pure
+// function of the grid and the group count). Because the synthetic
+// emission model is linear in the NOx/VOC shares, the dominant error
+// is chemical nonlinearity (ozone titration), which grows with the
+// distance of the query from the base point; the claims tests pin that
+// growth, and DESIGN.md §6f documents the error model.
+//
+// A matrix is identified by a content key over the base run's
+// machine-independent physics (scenario.Spec.PhysicsPrefixHash at the
+// run's end hour) and the perturbation set (group count, step, sorted
+// species knobs). Machine, node count and execution mode never enter
+// the key — the numerics are bit-identical across them — so fleet
+// workers and a local daemon build and reuse the same matrix. Matrices
+// contain no maps, which makes their gob encoding deterministic: two
+// assemblies from the same runs are byte-identical regardless of
+// worker count or where the runs executed.
+//
+// Building (build.go) drives the perturbation runs through
+// sweep.Engine, so prefix seeding, warm starts, retries and fleet
+// sharding all apply; serving (serve.go) pins resident matrices in the
+// artifact store and answers predictions with zero simulation.
+package sr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"airshed/internal/scenario"
+)
+
+// FormatVersion is the Matrix wire/artifact format version; bump it
+// when the struct changes shape so stale artifacts decode-miss instead
+// of mis-serving.
+const FormatVersion = 1
+
+// The species knobs a perturbation set may vary: the two emission
+// controls the paper names as Airshed's purpose.
+const (
+	KnobNOx = "nox"
+	KnobVOC = "voc"
+)
+
+// DefaultStep is the relative perturbation applied to each knob when
+// the set does not specify one: each perturbed run scales its knob by
+// (1 + DefaultStep).
+const DefaultStep = 0.1
+
+// Set declares one SR matrix: the base scenario the sensitivities are
+// taken around, how many source groups partition the grid, the
+// finite-difference step, and which species knobs to perturb.
+type Set struct {
+	// Base is the base scenario. Its machine/nodes/mode fields say how
+	// the build runs execute but do not enter the matrix key.
+	Base scenario.Spec `json:"base"`
+	// Groups is the number of contiguous source groups (1..MaxSourceGroups;
+	// 4–16 is the practical range on the paper's grids).
+	Groups int `json:"groups"`
+	// Step is the relative finite-difference step; zero means DefaultStep.
+	Step float64 `json:"step,omitempty"`
+	// Knobs lists the species knobs to perturb ("nox", "voc"); empty
+	// means both. Order and duplicates are canonicalised away.
+	Knobs []string `json:"knobs,omitempty"`
+}
+
+// Normalize returns the canonical form of the set: base spec
+// normalized, knobs lower-cased, deduplicated and sorted (so knob
+// order never changes the matrix key), zero step resolved to
+// DefaultStep, empty knob list resolved to {nox, voc}.
+func (s Set) Normalize() Set {
+	s.Base = s.Base.Normalize()
+	if s.Step == 0 {
+		s.Step = DefaultStep
+	}
+	seen := make(map[string]bool)
+	var knobs []string
+	for _, k := range s.Knobs {
+		k = strings.ToLower(strings.TrimSpace(k))
+		if k != "" && !seen[k] {
+			seen[k] = true
+			knobs = append(knobs, k)
+		}
+	}
+	if len(knobs) == 0 {
+		knobs = []string{KnobNOx, KnobVOC}
+	}
+	sort.Strings(knobs)
+	s.Knobs = knobs
+	return s
+}
+
+// Validate reports the first problem with the (normalized) set.
+func (s Set) Validate() error {
+	n := s.Normalize()
+	if err := n.Base.Validate(); err != nil {
+		return fmt.Errorf("sr: base: %w", err)
+	}
+	switch {
+	case n.Base.SourceGroups != 0:
+		return fmt.Errorf("sr: base spec must not itself be a source-group perturbation")
+	case n.Base.ControlStartHour != 0:
+		return fmt.Errorf("sr: base spec with delayed controls is not supported (perturbations are whole-run)")
+	case n.Groups < 1 || n.Groups > scenario.MaxSourceGroups:
+		return fmt.Errorf("sr: groups must be in [1, %d], got %d", scenario.MaxSourceGroups, n.Groups)
+	case n.Step <= 0 || n.Step > 1:
+		return fmt.Errorf("sr: step must be in (0, 1], got %g", n.Step)
+	}
+	for _, k := range n.Knobs {
+		if k != KnobNOx && k != KnobVOC {
+			return fmt.Errorf("sr: unknown knob %q (nox or voc)", k)
+		}
+	}
+	return nil
+}
+
+// Hash is the perturbation-set content hash: a hex SHA-256 over the
+// canonical encoding of the normalized set. The base contributes its
+// machine-independent physics (PhysicsPrefixHash over the whole run),
+// not its full spec hash, so two sets differing only in machine, node
+// count or execution mode hash — and therefore key — identically,
+// while any physics change (dataset, hours, scales, tolerance) or any
+// change to groups/step/knobs produces a new hash.
+func (s Set) Hash() string {
+	n := s.Normalize()
+	h := sha256.New()
+	fmt.Fprintf(h, "sr-set-v1\n")
+	fmt.Fprintf(h, "physics=%s\n", n.Base.PhysicsPrefixHash(n.Base.EndHour()))
+	fmt.Fprintf(h, "groups=%d\n", n.Groups)
+	fmt.Fprintf(h, "step=%g\n", n.Step)
+	for _, k := range n.Knobs {
+		fmt.Fprintf(h, "knob=%s\n", k)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Key is the matrix artifact key: hex SHA-256 over the format version
+// and the set hash. It names the blob in the artifact store
+// (store.SRMatrixKey) and the resident slot in the serving layer.
+func (s Set) Key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "sr-matrix-v%d\n", FormatVersion)
+	fmt.Fprintf(h, "set=%s\n", s.Hash())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Specs expands the set into its perturbation runs in canonical column
+// order: the base run first, then for each knob (sorted) the global
+// bump followed by the per-group bumps in group order. Every spec is
+// normalized and valid if the set is. The order is load-bearing:
+// Assemble emits columns in this order, which is what makes assembly
+// deterministic no matter how the runs were scheduled.
+func (s Set) Specs() []scenario.Spec {
+	n := s.Normalize()
+	bump := 1 + n.Step
+	specs := []scenario.Spec{n.Base}
+	for _, k := range n.Knobs {
+		g := n.Base
+		switch k {
+		case KnobNOx:
+			g.NOxScale *= bump
+		case KnobVOC:
+			g.VOCScale *= bump
+		}
+		specs = append(specs, g.Normalize())
+		for gi := 0; gi < n.Groups; gi++ {
+			p := n.Base
+			p.SourceGroups, p.SourceGroup = n.Groups, gi
+			switch k {
+			case KnobNOx:
+				p.GroupNOxScale = bump
+			case KnobVOC:
+				p.GroupVOCScale = bump
+			}
+			specs = append(specs, p.Normalize())
+		}
+	}
+	return specs
+}
+
+// GlobalGroup marks a Column as a whole-domain sensitivity rather than
+// one source group's.
+const GlobalGroup = -1
+
+// Column is one sensitivity column: the finite-difference response of
+// every served quantity to a unit relative change of one knob, either
+// domain-wide (Group == GlobalGroup) or restricted to one source group.
+type Column struct {
+	// Knob is the perturbed species knob ("nox" or "voc").
+	Knob string
+	// Group is the perturbed source group, or GlobalGroup.
+	Group int
+	// GroundO3 is d(ground-layer O3)/d(delta) per receptor cell, ppm.
+	GroundO3 []float64
+	// HourlyPeakO3 is the sensitivity of each hour's domain peak, ppm.
+	HourlyPeakO3 []float64
+	// PeakO3 is the sensitivity of the run's overall ozone peak, ppm.
+	PeakO3 float64
+	// Dose is the sensitivity of the PopExp dose matrix
+	// [cohort][tracked species], person-ppm-hours.
+	Dose [][]float64
+	// Risk is the sensitivity of the aggregate risk index.
+	Risk float64
+}
+
+// Matrix is a complete source–receptor matrix: the base run's served
+// quantities plus one sensitivity column per (knob × {global, group}).
+// It contains no maps, so its gob encoding is deterministic — assembly
+// from the same runs is byte-identical regardless of worker count or
+// where the runs executed, which the store's checksummed envelope then
+// protects at rest.
+type Matrix struct {
+	// Version is FormatVersion at assembly time.
+	Version int
+	// Key and SetHash identify the matrix (Set.Key, Set.Hash).
+	Key     string
+	SetHash string
+	// Base is the normalized base spec; Groups/Step/Knobs echo the set.
+	Base   scenario.Spec
+	Groups int
+	Step   float64
+	Knobs  []string
+	// Receptors is the number of ground receptor cells, Hours the run
+	// length, Cohorts the PopExp cohort count.
+	Receptors int
+	Hours     int
+	Cohorts   int
+	// TrackedSpecies names the Dose columns (popexp.TrackedSpecies).
+	TrackedSpecies []string
+
+	// Base-run quantities.
+	BaseGroundO3     []float64
+	BaseHourlyPeakO3 []float64
+	BasePeakO3       float64
+	BasePeakO3Cell   int
+	BaseDose         [][]float64
+	BaseRisk         float64
+
+	// Columns holds the sensitivities in Set.Specs order: for each knob
+	// (sorted), the global column then groups 0..Groups-1.
+	Columns []Column
+}
+
+// GroupDelta perturbs one source group in a Query: the group's knob
+// scale becomes (1 + Delta) relative to the base inventory.
+type GroupDelta struct {
+	Group int     `json:"group"`
+	Knob  string  `json:"knob"`
+	Delta float64 `json:"delta"`
+}
+
+// Query is one emission scenario to predict: global knob scales
+// (absolute, like scenario.Spec — zero means 1.0/base) plus optional
+// per-group deltas layered on top.
+type Query struct {
+	NOxScale    float64      `json:"nox_scale,omitempty"`
+	VOCScale    float64      `json:"voc_scale,omitempty"`
+	GroupDeltas []GroupDelta `json:"group_deltas,omitempty"`
+}
+
+// Prediction is the matvec answer for one Query: the same quantities a
+// full run would yield, linearised around the matrix's base point and
+// clamped non-negative.
+type Prediction struct {
+	// MatrixKey echoes the serving matrix.
+	MatrixKey string `json:"matrix_key"`
+	// GroundO3 is the predicted final ground-layer ozone per receptor
+	// cell, ppm. GroundPeakO3/GroundPeakCell locate its maximum.
+	GroundO3       []float64 `json:"ground_o3_ppm"`
+	GroundPeakO3   float64   `json:"ground_peak_o3_ppm"`
+	GroundPeakCell int       `json:"ground_peak_cell"`
+	// HourlyPeakO3 and PeakO3 mirror the full run's hourly and overall
+	// domain peaks.
+	HourlyPeakO3 []float64 `json:"hourly_peak_o3_ppm"`
+	PeakO3       float64   `json:"peak_o3_ppm"`
+	// Dose and RiskIndex are the PopExp exposure quantities.
+	Dose      [][]float64 `json:"dose"`
+	RiskIndex float64     `json:"risk_index"`
+}
+
+// deltas resolves a query against the matrix into one coefficient per
+// column, validating that the query stays inside the matrix's span.
+func (m *Matrix) deltas(q Query) ([]float64, error) {
+	base := m.Base.Normalize()
+	global := map[string]float64{}
+	for knob, pair := range map[string][2]float64{
+		KnobNOx: {q.NOxScale, base.NOxScale},
+		KnobVOC: {q.VOCScale, base.VOCScale},
+	} {
+		want, have := pair[0], pair[1]
+		if want == 0 {
+			want = have // zero means "base", per scenario.Spec semantics
+		}
+		if want < 0 {
+			return nil, fmt.Errorf("sr: %s scale must be non-negative, got %g", knob, want)
+		}
+		global[knob] = want/have - 1
+	}
+	hasKnob := make(map[string]bool, len(m.Knobs))
+	for _, k := range m.Knobs {
+		hasKnob[k] = true
+	}
+	for k, d := range global {
+		if d != 0 && !hasKnob[k] {
+			return nil, fmt.Errorf("sr: matrix has no %s column", k)
+		}
+	}
+	type gk struct {
+		knob  string
+		group int
+	}
+	group := make(map[gk]float64)
+	for _, gd := range q.GroupDeltas {
+		knob := strings.ToLower(strings.TrimSpace(gd.Knob))
+		if !hasKnob[knob] {
+			return nil, fmt.Errorf("sr: matrix has no %s column", gd.Knob)
+		}
+		if gd.Group < 0 || gd.Group >= m.Groups {
+			return nil, fmt.Errorf("sr: group %d out of range [0, %d)", gd.Group, m.Groups)
+		}
+		if gd.Delta < -1 {
+			return nil, fmt.Errorf("sr: group delta %g scales emissions negative", gd.Delta)
+		}
+		group[gk{knob, gd.Group}] += gd.Delta
+	}
+	out := make([]float64, len(m.Columns))
+	for i, col := range m.Columns {
+		if col.Group == GlobalGroup {
+			out[i] = global[col.Knob]
+		} else {
+			out[i] = group[gk{col.Knob, col.Group}]
+		}
+	}
+	return out, nil
+}
+
+// Predict answers a query by matrix–vector product: base quantities
+// plus delta-weighted sensitivity columns, clamped non-negative. No
+// simulation occurs; the cost is O(columns × receptors).
+func (m *Matrix) Predict(q Query) (*Prediction, error) {
+	ds, err := m.deltas(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prediction{
+		MatrixKey:    m.Key,
+		GroundO3:     append([]float64(nil), m.BaseGroundO3...),
+		HourlyPeakO3: append([]float64(nil), m.BaseHourlyPeakO3...),
+		PeakO3:       m.BasePeakO3,
+		RiskIndex:    m.BaseRisk,
+		Dose:         make([][]float64, len(m.BaseDose)),
+	}
+	for c := range m.BaseDose {
+		p.Dose[c] = append([]float64(nil), m.BaseDose[c]...)
+	}
+	for i, d := range ds {
+		if d == 0 {
+			continue
+		}
+		col := &m.Columns[i]
+		for r, s := range col.GroundO3 {
+			p.GroundO3[r] += d * s
+		}
+		for h, s := range col.HourlyPeakO3 {
+			p.HourlyPeakO3[h] += d * s
+		}
+		p.PeakO3 += d * col.PeakO3
+		p.RiskIndex += d * col.Risk
+		for c := range col.Dose {
+			for s := range col.Dose[c] {
+				p.Dose[c][s] += d * col.Dose[c][s]
+			}
+		}
+	}
+	clamp := func(xs []float64) {
+		for i := range xs {
+			if xs[i] < 0 {
+				xs[i] = 0
+			}
+		}
+	}
+	clamp(p.GroundO3)
+	clamp(p.HourlyPeakO3)
+	for c := range p.Dose {
+		clamp(p.Dose[c])
+	}
+	if p.PeakO3 < 0 {
+		p.PeakO3 = 0
+	}
+	if p.RiskIndex < 0 {
+		p.RiskIndex = 0
+	}
+	for r, v := range p.GroundO3 {
+		if v > p.GroundPeakO3 {
+			p.GroundPeakO3, p.GroundPeakCell = v, r
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,234 @@
+package sr
+
+import (
+	"strings"
+	"testing"
+
+	"airshed/internal/scenario"
+)
+
+func miniBase() scenario.Spec {
+	return scenario.Spec{Dataset: "mini", Machine: "gohost", Nodes: 1, Hours: 2}
+}
+
+// Satellite: reordering species knobs (or writing them in any case or
+// multiplicity) must not change the matrix key.
+func TestSetKeyKnobOrderInvariant(t *testing.T) {
+	a := Set{Base: miniBase(), Groups: 4, Knobs: []string{"nox", "voc"}}
+	b := Set{Base: miniBase(), Groups: 4, Knobs: []string{"voc", "nox"}}
+	c := Set{Base: miniBase(), Groups: 4, Knobs: []string{" VOC ", "nox", "voc"}}
+	if a.Hash() != b.Hash() || a.Key() != b.Key() {
+		t.Fatal("knob order changed the set hash / matrix key")
+	}
+	if a.Hash() != c.Hash() || a.Key() != c.Key() {
+		t.Fatal("knob case/duplication changed the set hash / matrix key")
+	}
+	d := Set{Base: miniBase(), Groups: 4} // empty knobs = both
+	if a.Hash() != d.Hash() {
+		t.Fatal("default knob list should equal explicit {nox, voc}")
+	}
+}
+
+// The matrix key covers physics only: machine, node count and
+// execution mode never enter it (the numerics are bit-identical across
+// them), so a fleet of heterogeneous workers shares one matrix.
+func TestSetKeyMachineNodeModeIndependent(t *testing.T) {
+	a := Set{Base: miniBase(), Groups: 4}
+	other := miniBase()
+	other.Machine, other.Nodes, other.Mode = "paragon", 8, "task"
+	b := Set{Base: other, Groups: 4}
+	if a.Key() != b.Key() {
+		t.Fatal("machine/nodes/mode changed the matrix key")
+	}
+}
+
+// Satellite: changing the group count, step, knob list or any physics
+// field of the base spec must change the key.
+func TestSetKeySensitivity(t *testing.T) {
+	ref := Set{Base: miniBase(), Groups: 4}
+	refKey := ref.Key()
+
+	groups := ref
+	groups.Groups = 8
+	step := ref
+	step.Step = 0.2
+	knobs := ref
+	knobs.Knobs = []string{"nox"}
+	hours := ref
+	hours.Base.Hours = 3
+	dataset := ref
+	dataset.Base.Dataset = "la"
+	scaled := ref
+	scaled.Base.NOxScale = 0.9
+	for name, s := range map[string]Set{
+		"group count": groups, "step": step, "knob list": knobs,
+		"base hours": hours, "base dataset": dataset, "base nox scale": scaled,
+	} {
+		if s.Key() == refKey {
+			t.Errorf("changing %s did not change the matrix key", name)
+		}
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	bad := []Set{
+		{Base: miniBase(), Groups: 0},
+		{Base: miniBase(), Groups: scenario.MaxSourceGroups + 1},
+		{Base: miniBase(), Groups: 4, Step: -0.1},
+		{Base: miniBase(), Groups: 4, Step: 1.5},
+		{Base: miniBase(), Groups: 4, Knobs: []string{"co"}},
+		{Base: scenario.Spec{Dataset: "nope", Machine: "gohost", Nodes: 1, Hours: 1}, Groups: 4},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	withGroups := miniBase()
+	withGroups.SourceGroups, withGroups.GroupNOxScale = 4, 1.1
+	if err := (Set{Base: withGroups, Groups: 4}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "perturbation") {
+		t.Error("a base spec that is itself a perturbation must be rejected")
+	}
+	if err := (Set{Base: miniBase(), Groups: 4}).Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+// Specs must expand in the canonical column order with every spec
+// valid and distinct: base, then per sorted knob a global bump
+// followed by the group bumps.
+func TestSetSpecsCanonicalOrder(t *testing.T) {
+	set := Set{Base: miniBase(), Groups: 3}.Normalize()
+	specs := set.Specs()
+	want := 1 + len(set.Knobs)*(1+set.Groups)
+	if len(specs) != want {
+		t.Fatalf("expanded to %d specs, want %d", len(specs), want)
+	}
+	seen := make(map[string]bool)
+	for i, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("spec %d invalid: %v", i, err)
+		}
+		h := sp.Hash()
+		if seen[h] {
+			t.Fatalf("spec %d duplicates an earlier spec: %s", i, sp)
+		}
+		seen[h] = true
+	}
+	if specs[0].Hash() != set.Base.Hash() {
+		t.Fatal("first spec is not the base run")
+	}
+	// knobs sorted => nox block first: global, then groups 0..2.
+	if specs[1].NOxScale <= specs[0].NOxScale || specs[1].SourceGroups != 0 {
+		t.Fatal("second spec should be the global NOx bump")
+	}
+	for g := 0; g < 3; g++ {
+		sp := specs[2+g]
+		if sp.SourceGroups != 3 || sp.SourceGroup != g || sp.GroupNOxScale <= 1 {
+			t.Fatalf("spec %d is not the NOx bump of group %d: %s", 2+g, g, sp)
+		}
+	}
+}
+
+// tinyMatrix is a hand-built 2-receptor, 1-group, nox-only matrix with
+// round numbers so the matvec is checkable by hand.
+func tinyMatrix() *Matrix {
+	return &Matrix{
+		Version: FormatVersion,
+		Key:     "tiny",
+		Base:    miniBase().Normalize(),
+		Groups:  1,
+		Step:    0.1,
+		Knobs:   []string{"nox"},
+
+		Receptors:        2,
+		Hours:            1,
+		Cohorts:          1,
+		TrackedSpecies:   []string{"O3"},
+		BaseGroundO3:     []float64{0.10, 0.05},
+		BaseHourlyPeakO3: []float64{0.10},
+		BasePeakO3:       0.10,
+		BaseDose:         [][]float64{{2.0}},
+		BaseRisk:         1.0,
+		Columns: []Column{
+			{Knob: "nox", Group: GlobalGroup,
+				GroundO3: []float64{0.02, -0.01}, HourlyPeakO3: []float64{0.02},
+				PeakO3: 0.02, Dose: [][]float64{{0.4}}, Risk: 0.2},
+			{Knob: "nox", Group: 0,
+				GroundO3: []float64{0.01, 0.00}, HourlyPeakO3: []float64{0.01},
+				PeakO3: 0.01, Dose: [][]float64{{0.2}}, Risk: 0.1},
+		},
+	}
+}
+
+func TestPredictMatvec(t *testing.T) {
+	m := tinyMatrix()
+	// +50% global NOx: delta = 0.5 on the global column.
+	p, err := m.Predict(Query{NOxScale: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.GroundO3[0], 0.10+0.5*0.02; !approxEq(got, want) {
+		t.Errorf("receptor 0: got %g want %g", got, want)
+	}
+	if got, want := p.GroundO3[1], 0.05-0.5*0.01; !approxEq(got, want) {
+		t.Errorf("receptor 1: got %g want %g", got, want)
+	}
+	if got, want := p.RiskIndex, 1.0+0.5*0.2; !approxEq(got, want) {
+		t.Errorf("risk: got %g want %g", got, want)
+	}
+	if p.GroundPeakCell != 0 || !approxEq(p.GroundPeakO3, 0.11) {
+		t.Errorf("ground peak: got %g at %d", p.GroundPeakO3, p.GroundPeakCell)
+	}
+	// Group delta stacks on top of the global column.
+	p, err = m.Predict(Query{NOxScale: 1.5, GroupDeltas: []GroupDelta{{Group: 0, Knob: "NOx", Delta: 0.2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.GroundO3[0], 0.10+0.5*0.02+0.2*0.01; !approxEq(got, want) {
+		t.Errorf("stacked: got %g want %g", got, want)
+	}
+	// A zero query is the base point exactly.
+	p, err = m.Predict(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(p.GroundO3[0], 0.10) || !approxEq(p.PeakO3, 0.10) {
+		t.Error("zero query must reproduce the base run")
+	}
+	// Strong negative delta clamps at zero rather than going negative.
+	p, err = m.Predict(Query{GroupDeltas: []GroupDelta{{Group: 0, Knob: "nox", Delta: -1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p.GroundO3 {
+		if v < 0 {
+			t.Fatal("prediction went negative")
+		}
+	}
+}
+
+func TestPredictRejectsBadQueries(t *testing.T) {
+	m := tinyMatrix()
+	cases := []Query{
+		{NOxScale: -1},
+		{VOCScale: 0.5}, // no voc column in this matrix
+		{GroupDeltas: []GroupDelta{{Group: 1, Knob: "nox", Delta: 0.1}}},
+		{GroupDeltas: []GroupDelta{{Group: 0, Knob: "voc", Delta: 0.1}}},
+		{GroupDeltas: []GroupDelta{{Group: 0, Knob: "nox", Delta: -2}}},
+	}
+	for i, q := range cases {
+		if _, err := m.Predict(q); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}

@@ -50,7 +50,7 @@ type BlobInfo struct {
 }
 
 // kinds are the artifact kind subdirectories every backend namespaces by.
-var kinds = []string{kindResult, kindRecord, kindCheckpoint}
+var kinds = []string{kindResult, kindRecord, kindCheckpoint, kindSRMatrix}
 
 // blobName validates the name half of a blob key: hash plus extension,
 // nothing that could escape the kind directory or collide with write

@@ -3,10 +3,13 @@
 // (keyed by the full scenario hash), machine-independent physics records
 // — work trace plus ozone diagnostics — and hourly concentration
 // checkpoints (both keyed by the scenario physics-prefix hash,
-// scenario.Spec.PhysicsPrefixHash). Checkpoints reuse the hourio
-// checksummed snapshot format, so a stored checkpoint is directly
-// consumable by core.Restart; results and records travel in a small
-// CRC-framed gob envelope.
+// scenario.Spec.PhysicsPrefixHash), and source–receptor matrices
+// (internal/sr, keyed by matrix content key). Checkpoints reuse the
+// hourio checksummed snapshot format, so a stored checkpoint is directly
+// consumable by core.Restart; results, records and SR matrices travel in
+// a small CRC-framed gob envelope. Artifacts a daemon is actively
+// serving from memory can be pinned (Pin/Unpin) so the size-capped GC
+// never evicts them mid-serve.
 //
 // Raw blob bytes live behind a pluggable Backend: the local directory
 // (DirBackend — the default, Open), an in-memory map (MemBackend), or a
@@ -74,6 +77,7 @@ const (
 	kindResult     = "results"
 	kindRecord     = "records"
 	kindCheckpoint = "checkpoints"
+	kindSRMatrix   = "srmatrices"
 )
 
 // PhysicsRecord is the machine-independent physics of a run prefix: the
@@ -130,9 +134,11 @@ type Counters struct {
 	TempsSwept  uint64
 
 	// Gauges (zero for a Store over a shared Backend, which keeps no
-	// local index).
+	// local index). Pinned counts artifacts currently pin-protected
+	// from GC (a serving daemon's resident SR matrices).
 	Entries int
 	Bytes   int64
+	Pinned  int
 }
 
 // entry is one stored artifact in the index.
@@ -151,6 +157,7 @@ type Store struct {
 
 	mu       sync.Mutex
 	entries  map[string]entry // by relpath kind/hash.ext; nil when shared
+	pinned   map[string]int   // GC-exempt relpaths, by pin refcount
 	bytes    int64
 	counters Counters
 }
@@ -176,6 +183,7 @@ func OpenBackend(b Backend, maxBytes int64) (*Store, error) {
 		backend:  b,
 		shared:   b.Shared(),
 		maxBytes: maxBytes,
+		pinned:   make(map[string]int),
 		breaker:  resilience.NewBreaker(resilience.DefaultBreakerThreshold, resilience.DefaultBreakerCooldown),
 	}
 	if s.shared {
@@ -256,7 +264,45 @@ func (s *Store) Counters() Counters {
 	c := s.counters
 	c.Entries = len(s.entries)
 	c.Bytes = s.bytes
+	c.Pinned = len(s.pinned)
 	return c
+}
+
+// Pin exempts a blob (by "kind/name" key) from garbage collection for as
+// long as at least one pin on it is held: a daemon serving a
+// memory-resident SR matrix pins its backing artifact so a size-capped
+// GC pass can never evict the blob out from under the serving layer.
+// Pins nest (refcounted) and are an in-process property only — they are
+// not persisted, so a restarted daemon re-pins whatever it re-loads.
+// Pinning never fails on a missing blob; the pin simply protects the key
+// if it is (re)written later. Corrupt entries are still deleted — a pin
+// protects bytes from eviction, not from being broken.
+func (s *Store) Pin(key string) error {
+	kind, name, err := SplitKey(key)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pinned[kind+"/"+name]++
+	return nil
+}
+
+// Unpin releases one pin on a blob key; the last release makes the blob
+// evictable again. Unpinning a key that is not pinned is a no-op.
+func (s *Store) Unpin(key string) {
+	kind, name, err := SplitKey(key)
+	if err != nil {
+		return
+	}
+	rel := kind + "/" + name
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pinned[rel] > 1 {
+		s.pinned[rel]--
+	} else {
+		delete(s.pinned, rel)
+	}
 }
 
 // relpath builds the index key / backend location of an artifact.
@@ -351,7 +397,7 @@ func (s *Store) gcLocked(keep string) {
 	}
 	victims := make([]aged, 0, len(s.entries))
 	for rel, e := range s.entries {
-		if rel != keep {
+		if rel != keep && s.pinned[rel] == 0 {
 			victims = append(victims, aged{rel, e.added})
 		}
 	}
@@ -616,6 +662,27 @@ func (s *Store) Checkpoint(prefixHash string) (data []byte, hour int, ok bool) {
 	}
 	s.hit()
 	return data, hour, true
+}
+
+// SRMatrixKey is the blob key of a stored source–receptor matrix, the
+// form Pin and the blob listing expect.
+func SRMatrixKey(matrixKey string) string {
+	return kindSRMatrix + "/" + matrixKey + ".srm"
+}
+
+// PutSRMatrix stores a source–receptor matrix under its content key
+// (internal/sr computes the key over the base run's physics-prefix hash
+// and the perturbation-set hash). The value is any gob-encodable type —
+// the store only frames, checksums and persists it, exactly like results
+// and records.
+func (s *Store) PutSRMatrix(matrixKey string, m any) error {
+	return s.putEnveloped(kindSRMatrix, matrixKey, ".srm", m)
+}
+
+// GetSRMatrix decodes the stored source–receptor matrix for a content
+// key into m. Corrupt entries are deleted and reported as a miss.
+func (s *Store) GetSRMatrix(matrixKey string, m any) bool {
+	return s.getEnveloped(kindSRMatrix, matrixKey, ".srm", m)
 }
 
 // PutBlob stores an already-serialised artifact under a validated

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"airshed/internal/analysis"
+	"airshed/internal/core"
 	"airshed/internal/datasets"
 	"airshed/internal/scenario"
 	"airshed/internal/sched"
@@ -310,6 +311,36 @@ func NewEngine(s *sched.Scheduler) *Engine {
 // deliberately omits.
 func (e *Engine) Scheduler() *sched.Scheduler {
 	return e.sched
+}
+
+// Results returns the full core.Result of every completed job of a
+// sweep, keyed by the job spec's content hash (scenario.Spec.Hash). It
+// is the bulk companion of Scheduler().Status for callers — like the
+// source–receptor matrix assembler — that need every run's fields, not
+// the JSON JobView. Jobs still pending, failed or cancelled are simply
+// absent; call after Await for the complete set.
+func (e *Engine) Results(id string) (map[string]*core.Result, error) {
+	e.mu.Lock()
+	st, ok := e.sweeps[id]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSweep, id)
+	}
+	st.mu.Lock()
+	ids := append([]string(nil), st.jobIDs...)
+	st.mu.Unlock()
+	out := make(map[string]*core.Result)
+	for i, spec := range st.specs {
+		if ids[i] == "" {
+			continue
+		}
+		js, err := e.sched.Status(ids[i])
+		if err != nil || js.State != sched.Done || js.Result == nil {
+			continue
+		}
+		out[spec.Hash()] = js.Result
+	}
+	return out, nil
 }
 
 // Start expands the request, registers the sweep and begins driving it

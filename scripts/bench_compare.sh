@@ -77,7 +77,10 @@ bench_means() { # file
 bench_means "$TMP/old.txt" | sort > "$TMP/old.means"
 bench_means "$TMP/new.txt" | sort > "$TMP/new.means"
 
-join "$TMP/old.means" "$TMP/new.means" | awk \
+# -a2/-e0 keeps benchmarks that do not exist at the base ref (old_* = 0,
+# delta_pct = 0) so a comparison of brand-new benchmarks still records
+# their head-side numbers (e.g. BENCH_sr.json).
+join -a 2 -e 0 -o 0,1.2,1.3,2.2,2.3 "$TMP/old.means" "$TMP/new.means" | awk \
   -v base="$BASE_SHA" -v head="$HEAD_SHA" \
   -v gomaxprocs="$(nproc 2>/dev/null || echo 1)" \
   -v goversion="$(go env GOVERSION)" '
