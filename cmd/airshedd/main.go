@@ -12,11 +12,16 @@
 //
 // API:
 //
-//	POST /v1/runs          submit a scenario (JSON spec), returns job id
+//	POST /v1/runs          submit a scenario (JSON spec), returns job id;
+//	                       a full queue answers 429 with a perfmodel-derived Retry-After
 //	GET  /v1/runs/{id}     job status + result summary once done
+//	GET  /v1/runs/{id}/stream   SSE: one "hour" event per simulated hour as the
+//	                       run executes, closed by a terminal "status" event
 //	POST /v1/sweeps        submit a batch study (JSON sweep.Request)
 //	GET  /v1/sweeps        list sweeps
 //	GET  /v1/sweeps/{id}   sweep progress + aggregate policy table
+//	GET  /v1/sweeps/{id}/stream SSE: "progress" events as jobs finish, closed
+//	                       by a final "sweep" event with the aggregate table
 //	GET  /v1/predict       analytic *performance* prediction (runtime/memory
 //	                       from the Section 4 model; ?dataset=&machine=&nodes=&hours=)
 //	POST /v1/sr/build      build (or attach to) a source–receptor matrix (JSON sr.Set)
@@ -87,6 +92,7 @@ func run() error {
 		storeDir     = flag.String("store", "", "artifact store directory (empty disables persistence)")
 		storeMB      = flag.Int64("store-mb", 2048, "artifact store size cap in MiB (<= 0 unlimited)")
 		hostWorkers  = flag.Int("host-workers", 0, "host engine workers per job (0 = shared GOMAXPROCS pool, <0 = legacy per-node goroutines)")
+		pipeline     = flag.Int("pipeline", 0, "streaming hour-pipeline depth per run: overlap input prefetch and async snapshot writes with compute (0 = serial hour loop)")
 		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 		journalPath  = flag.String("journal", "", "crash-recovery journal file (default <store>/journal.wal when -store is set; \"off\" disables)")
 		retries      = flag.Int("retries", 3, "attempts per job for transiently-failed runs (1 = no retries)")
@@ -161,16 +167,17 @@ func run() error {
 	}
 
 	scheduler := sched.New(sched.Options{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheMB << 20,
-		JobTimeout:   *jobTimeout,
-		GoParallel:   true,
-		HostWorkers:  *hostWorkers,
-		Store:        artifacts,
-		Retry:        resilience.RetryPolicy{MaxAttempts: *retries, Jitter: 0.5},
-		Journal:      journal,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CacheEntries:  *cacheEntries,
+		CacheBytes:    *cacheMB << 20,
+		JobTimeout:    *jobTimeout,
+		GoParallel:    true,
+		HostWorkers:   *hostWorkers,
+		PipelineDepth: *pipeline,
+		Store:         artifacts,
+		Retry:         resilience.RetryPolicy{MaxAttempts: *retries, Jitter: 0.5},
+		Journal:       journal,
 	})
 	replayJournal(journal, scheduler)
 

@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"time"
 
 	"airshed/internal/core"
 	"airshed/internal/fleet"
@@ -92,9 +93,11 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleRunStream)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleSweepStream)
 	// Two distinct predict paths. GET /v1/predict is "perf-predict": the
 	// §4 analytic *performance* model — how long would this run take on
 	// that machine. POST /v1/sr/predict is the source–receptor
@@ -140,7 +143,14 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, err := s.sched.Submit(spec)
 	switch {
 	case err == nil:
-	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrShuttingDown):
+	case errors.Is(err, sched.ErrQueueFull):
+		// Backpressure, not failure: the client should retry once the
+		// queue has drained. Retry-After comes from the scheduler's
+		// perfmodel-derived estimate of the current backlog.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.sched.EstimatedWait())))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, sched.ErrShuttingDown):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	default:
@@ -214,6 +224,12 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err.Error())
 		return
 	}
+	writeJSON(w, http.StatusOK, s.statusView(st))
+}
+
+// statusView renders one job status; it is shared between the poll
+// endpoint and the SSE stream's terminal "status" event.
+func (s *server) statusView(st sched.JobStatus) statusResponse {
 	resp := statusResponse{
 		ID:             st.ID,
 		Hash:           st.Hash,
@@ -236,7 +252,18 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if st.Result != nil {
 		resp.Summary = report.Summarize(st.Result)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// retryAfterSeconds converts the scheduler's backlog estimate into a
+// Retry-After value: whole seconds, rounded up, never less than 1 (a
+// zero would invite an immediate retry against a still-full queue).
+func retryAfterSeconds(wait time.Duration) int {
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // srBuildResponse acknowledges an SR matrix build request.
@@ -465,11 +492,20 @@ type healthResponse struct {
 	FleetRole    string `json:"fleet_role,omitempty"`    // "coordinator" or "worker"
 	FleetWorkers int    `json:"fleet_workers,omitempty"` // live workers (coordinator only)
 	SRMatrices   int    `json:"sr_matrices"`             // SR matrices resident in memory
+
+	// Admission pressure: how deep the submission queue is right now and
+	// the perfmodel-derived estimate of how long a new job would wait —
+	// the same figure a 429's Retry-After is cut from.
+	QueueDepth           int     `json:"queue_depth"`
+	EstimatedWaitSeconds float64 `json:"estimated_wait_seconds"`
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := healthResponse{Status: "ok", Version: version, FleetRole: s.role}
 	h.SRMatrices = s.sr.Metrics().Resident
+	c := s.sched.Counters()
+	h.QueueDepth = c.QueueDepth
+	h.EstimatedWaitSeconds = c.EstimatedWaitSeconds
 	if s.store != nil {
 		h.Store = s.store.Breaker().State().String()
 		if s.store.Degraded() {
@@ -500,6 +536,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "airshedd_cache_bytes %d\n", c.CacheBytes)
 	fmt.Fprintf(w, "airshedd_queue_depth %d\n", c.QueueDepth)
 	fmt.Fprintf(w, "airshedd_busy_workers %d\n", c.BusyWorkers)
+	fmt.Fprintf(w, "airshedd_estimated_wait_seconds %g\n", c.EstimatedWaitSeconds)
 	fmt.Fprintf(w, "airshedd_store_result_hits_total %d\n", c.StoreHits)
 	fmt.Fprintf(w, "airshedd_warm_starts_total %d\n", c.WarmStarts)
 	fmt.Fprintf(w, "airshedd_physics_replays_total %d\n", c.PhysicsReplays)
@@ -552,6 +589,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "airshedd_engine_chunks_total %d\n", es.Chunks)
 	fmt.Fprintf(w, "airshedd_engine_runs_total %d\n", es.Runs)
 	fmt.Fprintf(w, "airshedd_engine_panics_total %d\n", es.Panics)
+	// Streaming hour-pipeline gauges (process-wide, all pipelined runs).
+	ps := core.ReadPipelineStats()
+	fmt.Fprintf(w, "airshedd_pipeline_active_runs %d\n", ps.ActiveRuns)
+	fmt.Fprintf(w, "airshedd_pipeline_depth %d\n", ps.Depth)
+	fmt.Fprintf(w, "airshedd_pipeline_prefetched_hours_total %d\n", ps.PrefetchedHours)
+	fmt.Fprintf(w, "airshedd_pipeline_prefetch_hits_total %d\n", ps.PrefetchHits)
+	fmt.Fprintf(w, "airshedd_pipeline_prefetch_stalls_total %d\n", ps.PrefetchStalls)
+	fmt.Fprintf(w, "airshedd_pipeline_written_hours_total %d\n", ps.WrittenHours)
+	fmt.Fprintf(w, "airshedd_pipeline_writer_queue_depth %d\n", ps.WriterQueue)
 }
 
 // intParam parses an integer query parameter; empty means def.

@@ -117,6 +117,29 @@ func metric(t *testing.T, ts *httptest.Server, name string) int64 {
 	return 0
 }
 
+// metricFloat is metric for gauges printed with %g.
+func metricFloat(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("bad metric line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, raw)
+	return 0
+}
+
 // TestEndToEndRunAndCacheHit is the acceptance path: submit a mini run,
 // poll to completion, resubmit the identical scenario and verify the
 // cache hit through both the response and the /metrics counters.
@@ -236,7 +259,7 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 	}
 }
 
-func TestQueueFullReturns503(t *testing.T) {
+func TestQueueFullReturns429WithRetryAfter(t *testing.T) {
 	ts, _ := testServer(t, sched.Options{Workers: 1, QueueDepth: 1})
 
 	first, code := postRun(t, ts, miniBody(2))
@@ -254,18 +277,37 @@ func TestQueueFullReturns503(t *testing.T) {
 	if _, code := postRun(t, ts, miniBody(3)); code != http.StatusAccepted {
 		t.Fatalf("second submit: %d", code)
 	}
-	got503 := false
+	var overloaded *http.Response
 	for nodes := 4; nodes < 8; nodes++ {
-		if _, code := postRun(t, ts, miniBody(nodes)); code == http.StatusServiceUnavailable {
-			got503 = true
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+			bytes.NewBufferString(miniBody(nodes)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			overloaded = resp
 			break
 		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("overload submit: unexpected status %d", resp.StatusCode)
+		}
 	}
-	if !got503 {
-		t.Error("full queue never returned 503")
+	if overloaded == nil {
+		t.Fatal("full queue never returned 429")
+	}
+	// Backpressure must come with retry guidance derived from the
+	// scheduler's backlog estimate: a whole positive number of seconds.
+	ra, err := strconv.Atoi(overloaded.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want an integer >= 1", overloaded.Header.Get("Retry-After"))
 	}
 	if rej := metric(t, ts, "airshedd_jobs_rejected_total"); rej == 0 {
 		t.Error("rejections not counted")
+	}
+	if w := metricFloat(t, ts, "airshedd_estimated_wait_seconds"); w <= 0 {
+		t.Errorf("estimated wait gauge %g while loaded, want > 0", w)
 	}
 }
 

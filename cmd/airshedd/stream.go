@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"airshed/internal/sweep"
+)
+
+// Server-sent-events endpoints: the streaming-native face of the
+// pipelined hour loop. GET /v1/runs/{id}/stream delivers one "hour"
+// event per simulated (or warm-start-recovered) hour as the run
+// executes — fed by the scheduler's Watch broadcaster, which the core
+// pipeline's OnHourEnd hook drives — and closes with a single "status"
+// event carrying the same payload as GET /v1/runs/{id}. Sweeps stream
+// "progress" snapshots by server-side polling, ending with a final
+// "sweep" event.
+
+// sseDefaultPoll is the sweep-progress poll cadence; clients can
+// tighten or relax it with ?poll=250ms.
+const sseDefaultPoll = 500 * time.Millisecond
+
+// sseWriter serializes events in the text/event-stream framing and
+// flushes each one, so clients see hours the moment they complete.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+// newSSEWriter switches the response into streaming mode. A transport
+// that cannot flush incrementally (no http.Flusher) is useless for SSE,
+// so that answers 500 before any body is committed.
+func newSSEWriter(w http.ResponseWriter) (*sseWriter, bool) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	return &sseWriter{w: w, f: f}, true
+}
+
+// event emits one named SSE event with a JSON data payload.
+func (s *sseWriter) event(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data)
+	s.f.Flush()
+}
+
+// handleRunStream answers GET /v1/runs/{id}/stream?from=N with a live
+// SSE feed of the job's per-hour summaries starting at event sequence
+// N (default 0 — the whole history, so late subscribers and reconnects
+// never miss an hour), terminated by a "status" event once the job
+// reaches a terminal state. Cache hits and physics replays have no live
+// stream; for those the scheduler synthesizes the per-hour events from
+// the stored result and the feed completes immediately.
+func (s *server) handleRunStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	from, err := intParam(r.URL.Query().Get("from"), 0)
+	if err != nil || from < 0 {
+		httpError(w, http.StatusBadRequest, "bad from: must be a non-negative integer")
+		return
+	}
+	events, st, changed, err := s.sched.Watch(id, from)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	out, ok := newSSEWriter(w)
+	if !ok {
+		return
+	}
+	seen := from
+	for {
+		for _, ev := range events {
+			out.event("hour", ev)
+			seen++
+		}
+		if st.State.Terminal() {
+			// Drain hours appended between the last wait and the terminal
+			// transition before announcing the outcome.
+			tail, final, _, err := s.sched.Watch(id, seen)
+			if err != nil {
+				return
+			}
+			for _, ev := range tail {
+				out.event("hour", ev)
+			}
+			out.event("status", s.statusView(final))
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-changed:
+		}
+		if events, st, changed, err = s.sched.Watch(id, seen); err != nil {
+			return
+		}
+	}
+}
+
+// sweepProgress is the incremental sweep event: the Status counters
+// without the per-job table, which would dwarf the deltas.
+type sweepProgress struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	Cancelled int    `json:"cancelled"`
+}
+
+func progressOf(st sweep.Status) sweepProgress {
+	return sweepProgress{
+		ID:        st.ID,
+		State:     st.State,
+		Total:     st.Total,
+		Completed: st.Completed,
+		Failed:    st.Failed,
+		Cancelled: st.Cancelled,
+	}
+}
+
+// handleSweepStream answers GET /v1/sweeps/{id}/stream with "progress"
+// events whenever the sweep's completion counters move (polled
+// server-side; the sweep engine has no push channel) and a final
+// "sweep" event carrying the full Status — aggregate policy table
+// included — once the sweep finishes.
+func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.sweeps.Status(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	poll := sseDefaultPoll
+	if p := r.URL.Query().Get("poll"); p != "" {
+		d, err := time.ParseDuration(p)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad poll: want a positive duration like 250ms")
+			return
+		}
+		poll = d
+	}
+	out, ok := newSSEWriter(w)
+	if !ok {
+		return
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	last := progressOf(st)
+	out.event("progress", last)
+	for st.State != "done" {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+		if st, err = s.sweeps.Status(id); err != nil {
+			return
+		}
+		if p := progressOf(st); p != last {
+			last = p
+			out.event("progress", p)
+		}
+	}
+	out.event("sweep", st)
+}

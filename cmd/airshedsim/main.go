@@ -52,6 +52,7 @@ func run() error {
 		saveTr   = flag.String("save-trace", "", "save the work trace to this file for later replay")
 		restart  = flag.String("restart", "", "resume from this hourly snapshot file (sets the start hour and initial state)")
 		workers  = flag.Int("workers", 0, "host engine workers (0 = shared GOMAXPROCS pool, <0 = legacy per-node goroutines)")
+		pipeline = flag.Int("pipeline", 0, "streaming hour-pipeline depth: overlap input prefetch and async snapshot writes with compute (0 = serial hour loop)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile after the run to this file")
 
@@ -82,6 +83,7 @@ func run() error {
 	cfg.SnapshotDir = *snapDir
 	cfg.GoParallel = true
 	cfg.HostWorkers = *workers
+	cfg.PipelineDepth = *pipeline
 	if *snapDir != "" {
 		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
 			return err

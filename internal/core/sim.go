@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"airshed/internal/aerosol"
 	"airshed/internal/chemistry"
@@ -226,12 +227,12 @@ func (s *Simulation) Run() (*Result, error) {
 // an error wrapping ctx.Err(). The check granularity is one step — the
 // smallest unit after which the virtual machine state is consistent — so
 // a cancelled job stops within a fraction of a simulated hour.
+//
+// With Config.PipelineDepth > 0 the hour loop runs as the wall-clock
+// streaming pipeline of pipeline.go (input decode ‖ compute ‖ output
+// write overlapped on dedicated slots); the serial loop and the pipeline
+// produce bit-identical results, ledgers and traces.
 func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
-	ds := s.cfg.Dataset
-	sh := ds.Shape
-	prov := ds.Provider
-	mech := ds.Mechanism()
-
 	// A positive HostWorkers asks for a dedicated engine scoped to this
 	// run; the shared engine (HostWorkers == 0) was bound at build time
 	// and is never closed.
@@ -244,144 +245,12 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		}()
 	}
 
-	for hour := s.cfg.StartHour; hour < s.cfg.StartHour+s.cfg.Hours; hour++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: run abandoned before hour %d: %w", hour, err)
-		}
-		hourProv := prov
-		if s.cfg.ControlProvider != nil && hour >= s.cfg.ControlStartHour {
-			hourProv = s.cfg.ControlProvider
-		}
-		in, err := hourProv.HourInput(hour)
-		if err != nil {
+	if s.cfg.PipelineDepth > 0 {
+		if err := s.runPipelined(ctx); err != nil {
 			return nil, err
 		}
-		// --- inputhour: sequential I/O processing on node 0 ---
-		// Hour-I/O stage failures are environmental, not physics: a
-		// retry of the whole job can cure them.
-		inBytes, err := hourio.WriteHourInput(io.Discard, in)
-		if err != nil {
-			return nil, resilience.MarkTransient(fmt.Errorf("core: inputhour %d: %w", hour, err))
-		}
-		s.vm.ChargeIO(0, inBytes)
-
-		// --- pretrans: sequential preprocessing on node 0 ---
-		nsteps := StepsForHour(in, s.minCell, s.cfg.maxSteps())
-		envs := s.buildTransportEnvs(in)
-		pretransFlops := float64(12*sh.Layers*sh.Cells + 4*sh.Species*sh.Cells)
-		s.vm.ChargeCompute(0, vm.CatIO, pretransFlops)
-		s.vm.Barrier()
-
-		ht := HourTrace{InBytes: inBytes, PretransFlops: pretransFlops}
-		dtStep := 3600.0 / float64(nsteps)
-		// The transport solver advances every layer with one shared
-		// (worst-layer CFL) substep, so per-layer work is uniform and
-		// the transport phase load depends only on the layer count per
-		// node — the behaviour the paper's Figure 4 shows.
-		nsub, err := s.hourSubsteps(envs, dtStep/2)
-		if err != nil {
-			return nil, err
-		}
-
-		for step := 0; step < nsteps; step++ {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: run abandoned at hour %d step %d: %w", hour, step, err)
-			}
-			st := StepTrace{
-				LayerFlops: make([]float64, sh.Layers),
-				CellFlops:  make([]float64, sh.Cells),
-			}
-			// Leading transport (half step).
-			if s.arr.Dist() != dist.DTrans {
-				if err := s.redistribute(dist.DTrans, KindReplToTrans); err != nil {
-					return nil, err
-				}
-			}
-			if err := s.transportPhase(envs, in, dtStep/2, nsub, st.LayerFlops); err != nil {
-				return nil, err
-			}
-			// Chemistry + vertical transport (full step).
-			if err := s.redistribute(dist.DChem, KindTransToChem); err != nil {
-				return nil, err
-			}
-			if err := s.chemistryPhase(in, dtStep, st.CellFlops); err != nil {
-				return nil, err
-			}
-			// Aerosol: replicated.
-			if err := s.redistribute(dist.DRepl, KindChemToRepl); err != nil {
-				return nil, err
-			}
-			aeroFlops, err := s.aerosolPhase(in)
-			if err != nil {
-				return nil, err
-			}
-			st.AeroFlops = aeroFlops
-			// Trailing transport (half step).
-			if err := s.redistribute(dist.DTrans, KindReplToTrans); err != nil {
-				return nil, err
-			}
-			trail := s.trailBuf
-			if err := s.transportPhase(envs, in, dtStep/2, nsub, trail); err != nil {
-				return nil, err
-			}
-			for l := range trail {
-				if trail[l] != st.LayerFlops[l] {
-					return nil, fmt.Errorf("core: leading/trailing transport work diverged on layer %d: %g vs %g",
-						l, st.LayerFlops[l], trail[l])
-				}
-			}
-			ht.Steps = append(ht.Steps, st)
-			s.result.TotalSteps++
-		}
-
-		// --- outputhour: sequential I/O processing on node 0 ---
-		// The hourly gather to the replicated I/O distribution goes in
-		// two phases through D_Chem: a direct D_Trans -> D_Repl plan
-		// would make each of the few layer owners send its whole slab
-		// to every node (O(P) slab copies), while the two-phase route
-		// costs a cheap slab scatter plus the same all-gather the main
-		// loop already performs. This is the classic two-phase
-		// redistribution optimisation; see DESIGN.md.
-		if err := s.redistribute(dist.DChem, KindTransToRepl); err != nil {
-			return nil, err
-		}
-		if err := s.redistribute(dist.DRepl, KindTransToRepl); err != nil {
-			return nil, err
-		}
-		repl, err := s.arr.Replica()
-		if err != nil {
-			return nil, err
-		}
-		outBytes, err := s.writeSnapshot(hour, repl)
-		if err != nil {
-			return nil, resilience.MarkTransient(fmt.Errorf("core: outputhour %d: %w", hour, err))
-		}
-		s.vm.ChargeIO(0, outBytes)
-		s.vm.Barrier()
-		ht.OutBytes = outBytes
-		s.trace.Hours = append(s.trace.Hours, ht)
-
-		// Diagnostics: ground-layer ozone peak, overall and per hour.
-		hourPeak, hourPeakCell := 0.0, 0
-		for c := 0; c < sh.Cells; c++ {
-			v := repl[s.iO3+sh.Species*(0+sh.Layers*c)]
-			if v > hourPeak {
-				hourPeak = v
-				hourPeakCell = c
-			}
-			if v > s.result.PeakO3 {
-				s.result.PeakO3 = v
-				s.result.PeakO3Cell = c
-			}
-		}
-		s.result.HourlyPeakO3 = append(s.result.HourlyPeakO3, hourPeak)
-		s.result.HourlyPeakCell = append(s.result.HourlyPeakCell, hourPeakCell)
-		if s.cfg.SnapshotFunc != nil {
-			if err := s.cfg.SnapshotFunc(hour, repl); err != nil {
-				return nil, fmt.Errorf("core: snapshot sink at hour %d: %w", hour, err)
-			}
-		}
-		_ = mech
+	} else if err := s.runSerial(ctx); err != nil {
+		return nil, err
 	}
 
 	s.result.Ledger = s.vm.Ledger()
@@ -402,6 +271,211 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		s.result.RedistCounts = rr.RedistCounts
 	}
 	return s.result, nil
+}
+
+// runSerial is the classic single-goroutine hour loop: input decode,
+// pretrans, inner steps and output run strictly in sequence, exactly the
+// paper's Figure 1 program. runPipelined reuses the same stage helpers
+// (hourProvider, runHourSteps, gatherReplica, recordHourPeak) so the two
+// paths cannot drift.
+func (s *Simulation) runSerial(ctx context.Context) error {
+	sh := s.cfg.Dataset.Shape
+	for hour := s.cfg.StartHour; hour < s.cfg.StartHour+s.cfg.Hours; hour++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: run abandoned before hour %d: %w", hour, err)
+		}
+		in, err := s.hourProvider(hour).HourInput(hour)
+		if err != nil {
+			return err
+		}
+		// --- inputhour: sequential I/O processing on node 0 ---
+		// Hour-I/O stage failures are environmental, not physics: a
+		// retry of the whole job can cure them.
+		inBytes, err := hourio.WriteHourInput(io.Discard, in)
+		if err != nil {
+			return resilience.MarkTransient(fmt.Errorf("core: inputhour %d: %w", hour, err))
+		}
+		if err := s.throttleIO(ctx, inBytes); err != nil {
+			return err
+		}
+		s.vm.ChargeIO(0, inBytes)
+
+		// --- pretrans: sequential preprocessing on node 0 ---
+		nsteps := StepsForHour(in, s.minCell, s.cfg.maxSteps())
+		envs := s.buildTransportEnvs(in)
+		pretransFlops := float64(12*sh.Layers*sh.Cells + 4*sh.Species*sh.Cells)
+		s.vm.ChargeCompute(0, vm.CatIO, pretransFlops)
+		s.vm.Barrier()
+
+		ht := HourTrace{InBytes: inBytes, PretransFlops: pretransFlops}
+		dtStep := 3600.0 / float64(nsteps)
+		// The transport solver advances every layer with one shared
+		// (worst-layer CFL) substep, so per-layer work is uniform and
+		// the transport phase load depends only on the layer count per
+		// node — the behaviour the paper's Figure 4 shows.
+		nsub, err := s.hourSubsteps(envs, dtStep/2)
+		if err != nil {
+			return err
+		}
+		if err := s.runHourSteps(ctx, hour, in, envs, nsteps, nsub, &ht); err != nil {
+			return err
+		}
+
+		// --- outputhour: sequential I/O processing on node 0 ---
+		repl, err := s.gatherReplica()
+		if err != nil {
+			return err
+		}
+		outBytes, err := s.writeSnapshot(hour, repl)
+		if err != nil {
+			return resilience.MarkTransient(fmt.Errorf("core: outputhour %d: %w", hour, err))
+		}
+		if err := s.throttleIO(ctx, outBytes); err != nil {
+			return err
+		}
+		s.vm.ChargeIO(0, outBytes)
+		s.vm.Barrier()
+		ht.OutBytes = outBytes
+		s.trace.Hours = append(s.trace.Hours, ht)
+
+		hourPeak, hourPeakCell := s.recordHourPeak(repl)
+		if s.cfg.SnapshotFunc != nil {
+			if err := s.cfg.SnapshotFunc(hour, repl); err != nil {
+				return fmt.Errorf("core: snapshot sink at hour %d: %w", hour, err)
+			}
+		}
+		if s.cfg.OnHourEnd != nil {
+			s.cfg.OnHourEnd(HourSummary{
+				Hour:     hour,
+				PeakO3:   hourPeak,
+				PeakCell: hourPeakCell,
+				Steps:    nsteps,
+				InBytes:  inBytes,
+				OutBytes: outBytes,
+			})
+		}
+	}
+	return nil
+}
+
+// hourProvider resolves the meteo provider for an hour: the control
+// provider once its delayed start is reached, the base provider before.
+func (s *Simulation) hourProvider(hour int) *meteo.Synthetic {
+	if s.cfg.ControlProvider != nil && hour >= s.cfg.ControlStartHour {
+		return s.cfg.ControlProvider
+	}
+	return s.cfg.Dataset.Provider
+}
+
+// throttleIO sleeps bytes/IOBytesPerSec seconds — the slow-provider
+// harness (see Config.IOBytesPerSec). No-op when the throttle is off.
+func (s *Simulation) throttleIO(ctx context.Context, bytes int64) error {
+	if s.cfg.IOBytesPerSec <= 0 || bytes <= 0 {
+		return nil
+	}
+	d := time.Duration(float64(bytes) / s.cfg.IOBytesPerSec * float64(time.Second))
+	if err := resilience.SleepCtx(ctx, d); err != nil {
+		return fmt.Errorf("core: run abandoned in throttled I/O: %w", err)
+	}
+	return nil
+}
+
+// runHourSteps executes one hour's inner step loop (leading transport,
+// chemistry, aerosol, trailing transport with the distribution cycle in
+// between), appending step traces to ht. Identical in both execution
+// paths; all virtual-time charging happens here on the caller goroutine.
+func (s *Simulation) runHourSteps(ctx context.Context, hour int, in *meteo.HourInput, envs []transport.Env, nsteps, nsub int, ht *HourTrace) error {
+	sh := s.cfg.Dataset.Shape
+	dtStep := 3600.0 / float64(nsteps)
+	for step := 0; step < nsteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: run abandoned at hour %d step %d: %w", hour, step, err)
+		}
+		st := StepTrace{
+			LayerFlops: make([]float64, sh.Layers),
+			CellFlops:  make([]float64, sh.Cells),
+		}
+		// Leading transport (half step).
+		if s.arr.Dist() != dist.DTrans {
+			if err := s.redistribute(dist.DTrans, KindReplToTrans); err != nil {
+				return err
+			}
+		}
+		if err := s.transportPhase(envs, in, dtStep/2, nsub, st.LayerFlops); err != nil {
+			return err
+		}
+		// Chemistry + vertical transport (full step).
+		if err := s.redistribute(dist.DChem, KindTransToChem); err != nil {
+			return err
+		}
+		if err := s.chemistryPhase(in, dtStep, st.CellFlops); err != nil {
+			return err
+		}
+		// Aerosol: replicated.
+		if err := s.redistribute(dist.DRepl, KindChemToRepl); err != nil {
+			return err
+		}
+		aeroFlops, err := s.aerosolPhase(in)
+		if err != nil {
+			return err
+		}
+		st.AeroFlops = aeroFlops
+		// Trailing transport (half step).
+		if err := s.redistribute(dist.DTrans, KindReplToTrans); err != nil {
+			return err
+		}
+		trail := s.trailBuf
+		if err := s.transportPhase(envs, in, dtStep/2, nsub, trail); err != nil {
+			return err
+		}
+		for l := range trail {
+			if trail[l] != st.LayerFlops[l] {
+				return fmt.Errorf("core: leading/trailing transport work diverged on layer %d: %g vs %g",
+					l, st.LayerFlops[l], trail[l])
+			}
+		}
+		ht.Steps = append(ht.Steps, st)
+		s.result.TotalSteps++
+	}
+	return nil
+}
+
+// gatherReplica performs the hourly gather to the replicated I/O
+// distribution. It goes in two phases through D_Chem: a direct
+// D_Trans -> D_Repl plan would make each of the few layer owners send
+// its whole slab to every node (O(P) slab copies), while the two-phase
+// route costs a cheap slab scatter plus the same all-gather the main
+// loop already performs. This is the classic two-phase redistribution
+// optimisation; see DESIGN.md.
+func (s *Simulation) gatherReplica() ([]float64, error) {
+	if err := s.redistribute(dist.DChem, KindTransToRepl); err != nil {
+		return nil, err
+	}
+	if err := s.redistribute(dist.DRepl, KindTransToRepl); err != nil {
+		return nil, err
+	}
+	return s.arr.Replica()
+}
+
+// recordHourPeak scans the ground-layer ozone field for the hourly and
+// running peaks and appends the hourly diagnostics to the result.
+func (s *Simulation) recordHourPeak(repl []float64) (float64, int) {
+	sh := s.cfg.Dataset.Shape
+	hourPeak, hourPeakCell := 0.0, 0
+	for c := 0; c < sh.Cells; c++ {
+		v := repl[s.iO3+sh.Species*(0+sh.Layers*c)]
+		if v > hourPeak {
+			hourPeak = v
+			hourPeakCell = c
+		}
+		if v > s.result.PeakO3 {
+			s.result.PeakO3 = v
+			s.result.PeakO3Cell = c
+		}
+	}
+	s.result.HourlyPeakO3 = append(s.result.HourlyPeakO3, hourPeak)
+	s.result.HourlyPeakCell = append(s.result.HourlyPeakCell, hourPeakCell)
+	return hourPeak, hourPeakCell
 }
 
 // redistribute moves the array and books the phase under its kind.
@@ -434,6 +508,13 @@ func (s *Simulation) hourSubsteps(envs []transport.Env, dtHalf float64) (int, er
 	} else {
 		op = s.transOps[0]
 	}
+	return maxSubsteps(op, envs, dtHalf)
+}
+
+// maxSubsteps is hourSubsteps on an explicit operator: the prefetch
+// stage counts substeps on its own operator (Prepare mutates operator
+// state, so it cannot borrow a compute worker's while compute runs).
+func maxSubsteps(op *transport.Operator2D, envs []transport.Env, dtHalf float64) (int, error) {
 	nsub := 1
 	for l := range envs {
 		if _, err := op.Prepare(&envs[l]); err != nil {

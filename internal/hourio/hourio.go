@@ -218,6 +218,17 @@ func ReadHourInput(r io.Reader) (*meteo.HourInput, int64, error) {
 	return in, cr.n, nil
 }
 
+// SnapshotSize returns the exact number of bytes WriteSnapshot produces
+// for the given dimensions. The snapshot format has no variable-length
+// parts, so the volume an output phase must be charged for is known
+// before any byte is encoded — the streaming hour pipeline charges this
+// analytic size on the compute path while the actual encode runs on the
+// async writer (which verifies its written count against it).
+func SnapshotSize(ns, nl, ncells int) int64 {
+	// magic + 4 uint64 header + section tag + section length + payload + CRC.
+	return int64(len(Magic)) + 4*8 + 4 + 8 + 8*int64(ns)*int64(nl)*int64(ncells) + 4
+}
+
 // WriteSnapshot serialises a concentration snapshot (the outputhour
 // payload) with dimensions for validation. Returns bytes written.
 func WriteSnapshot(w io.Writer, hour, ns, nl, ncells int, conc []float64) (int64, error) {

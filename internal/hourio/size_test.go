@@ -1,0 +1,36 @@
+package hourio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotSizeMatchesWrite pins the analytic snapshot size to the
+// encoder: the streaming pipeline charges SnapshotSize on the compute
+// path before the async writer encodes a single byte, so the two must
+// agree exactly for every shape.
+func TestSnapshotSizeMatchesWrite(t *testing.T) {
+	shapes := []struct{ ns, nl, nc int }{
+		{1, 1, 1},
+		{3, 2, 7},
+		{35, 5, 52},   // Mini
+		{35, 5, 1200}, // LA-like
+	}
+	for _, sh := range shapes {
+		conc := make([]float64, sh.ns*sh.nl*sh.nc)
+		for i := range conc {
+			conc[i] = float64(i) * 1e-3
+		}
+		var buf bytes.Buffer
+		n, err := WriteSnapshot(&buf, 13, sh.ns, sh.nl, sh.nc, conc)
+		if err != nil {
+			t.Fatalf("%+v: %v", sh, err)
+		}
+		if want := SnapshotSize(sh.ns, sh.nl, sh.nc); n != want {
+			t.Errorf("%+v: wrote %d bytes, SnapshotSize says %d", sh, n, want)
+		}
+		if int64(buf.Len()) != n {
+			t.Errorf("%+v: buffer holds %d bytes, writer counted %d", sh, buf.Len(), n)
+		}
+	}
+}

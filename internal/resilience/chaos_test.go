@@ -217,6 +217,57 @@ func TestChaosRetryRecoversTransientFaults(t *testing.T) {
 	}
 }
 
+// TestChaosPipelineStageFaultsRecover injects one transient fault into
+// each streaming-pipeline stage (the prefetch decode and the async
+// snapshot writer) of a pipelined multi-hour run, across the fixed
+// seeds. The first attempt dies in the prefetch stage, the second in
+// the writer, the third completes — and the recovered physics must be
+// bit-identical to the fault-free *serial* baseline, pinning the PR-5
+// invariant through the overlapped hour loop.
+func TestChaosPipelineStageFaultsRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite runs real numerics")
+	}
+	spec := chaosSpec(2)
+	spec.Hours = 3
+	want := baseline(t, spec)
+
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			inj := resilience.New(seed).
+				SetLimited(resilience.PointPipePrefetch, 1, 1).
+				SetLimited(resilience.PointPipeWrite, 1, 1)
+			withInjector(t, inj)
+			s := sched.New(sched.Options{
+				Workers: 1, GoParallel: true, PipelineDepth: 2,
+				Retry: resilience.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, Jitter: 0.5, Seed: seed},
+			})
+			defer shutdownSched(t, s)
+
+			job, err := s.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			final := awaitJob(t, s, job.ID)
+			if final.State != sched.Done {
+				t.Fatalf("pipelined job did not recover: %v (%v)", final.State, final.Err)
+			}
+			if final.Attempts != 3 {
+				t.Errorf("attempts = %d, want 3 (one per faulted stage, then clean)", final.Attempts)
+			}
+			if final.LastErr == nil || !resilience.IsTransient(final.LastErr) {
+				t.Errorf("stage fault not surfaced as transient: %v", final.LastErr)
+			}
+			for _, pt := range []string{resilience.PointPipePrefetch, resilience.PointPipeWrite} {
+				if inj.Fired(pt) != 1 {
+					t.Errorf("point %s fired %d times, want 1", pt, inj.Fired(pt))
+				}
+			}
+			assertPhysicsIdentical(t, fmt.Sprintf("pipeline-seed-%d", seed), final.Result, want)
+		})
+	}
+}
+
 // TestChaosPanicBecomesFailedJob arms a one-shot panic in the job
 // execution path: the job must fail with the contained PanicError (a
 // permanent failure — exactly one attempt), the panic counter must

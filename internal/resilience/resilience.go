@@ -54,11 +54,19 @@ const (
 	// PointFxChunk fires per host-engine chunk (the sub-job failure
 	// domain: one core's span of a phase).
 	PointFxChunk = "fx.chunk"
+	// PointPipePrefetch fires at the head of the streaming hour
+	// pipeline's prefetch stage (once per prefetched hour): a fault is
+	// the input decode slot losing an hour file mid-read.
+	PointPipePrefetch = "pipe.prefetch"
+	// PointPipeWrite fires at the head of the streaming hour pipeline's
+	// async output stage (once per written hour): a fault is the output
+	// slot losing a snapshot write.
+	PointPipeWrite = "pipe.write"
 )
 
 // Points lists the canonical injection points.
 func Points() []string {
-	return []string{PointStoreRead, PointStoreWrite, PointHourRead, PointHourWrite, PointSchedExec, PointFxChunk}
+	return []string{PointStoreRead, PointStoreWrite, PointHourRead, PointHourWrite, PointSchedExec, PointFxChunk, PointPipePrefetch, PointPipeWrite}
 }
 
 // InjectedError is the error an injection point fires. It is transient

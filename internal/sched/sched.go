@@ -45,6 +45,8 @@ import (
 	"time"
 
 	"airshed/internal/core"
+	"airshed/internal/machine"
+	"airshed/internal/perfmodel"
 	"airshed/internal/resilience"
 	"airshed/internal/scenario"
 	"airshed/internal/store"
@@ -145,6 +147,12 @@ type Options struct {
 	// is exactly the accepted-but-unfinished work; cmd/airshedd
 	// re-submits it on restart.
 	Journal *resilience.Journal
+	// PipelineDepth sets core.Config.PipelineDepth on every executed
+	// run: > 0 streams each run's hour loop through the wall-clock
+	// prefetch/compute/writeback pipeline. Results are bit-identical
+	// either way (the core determinism matrix); this only moves hour I/O
+	// off the compute critical path.
+	PipelineDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -209,6 +217,12 @@ type Counters struct {
 	BusyWorkers  int
 	CacheEntries int
 	CacheBytes   int64
+
+	// EstimatedWaitSeconds is the admission-control estimate: how long a
+	// job enqueued now would wait before a worker picks it up, from the
+	// perfmodel cost of the queued and running work priced at the
+	// observed execution rate (see EstimatedWait).
+	EstimatedWaitSeconds float64
 }
 
 // job is the scheduler's internal job record; all mutable fields are
@@ -217,6 +231,7 @@ type job struct {
 	id   string
 	hash string
 	spec scenario.Spec
+	cost float64 // perfmodel a-priori cost (0 when the estimate failed)
 
 	state     State
 	cached    bool
@@ -229,12 +244,40 @@ type job struct {
 	result    *core.Result
 	journaled bool // WAL Accept completed; terminal states must retire it
 
+	// events is the per-hour progress stream (Watch); changed is closed
+	// and replaced on every append, and closed for good on the terminal
+	// state (nil from then on).
+	events  []HourEvent
+	changed chan struct{}
+
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
 
 	cancel context.CancelFunc
 	done   chan struct{} // closed on terminal state
+}
+
+// HourEvent is one entry of a job's progress stream: a simulated hour
+// completed (or was served from stored physics). Seq numbers events from
+// 0 within the job — a retry keeps appending, so consumers see the rerun
+// hours again with a higher Attempt.
+type HourEvent struct {
+	// Seq is the event's index in the job's stream.
+	Seq int `json:"seq"`
+	// Hour is the absolute simulated hour the event reports.
+	Hour int `json:"hour"`
+	// PeakO3/PeakCell are the hour's ground-layer ozone maximum and its
+	// cell; Steps the hour's inner step count.
+	PeakO3   float64 `json:"peak_o3"`
+	PeakCell int     `json:"peak_cell"`
+	Steps    int     `json:"steps"`
+	// Attempt is the execution attempt that produced the event (1-based;
+	// 0 for events synthesized from a finished result).
+	Attempt int `json:"attempt,omitempty"`
+	// Stored marks hours served from stored physics (warm-start prefix,
+	// physics replay, cache/store hits) rather than simulated now.
+	Stored bool `json:"stored,omitempty"`
 }
 
 // JobStatus is an immutable snapshot of one job, safe to hold across
@@ -291,6 +334,14 @@ type Scheduler struct {
 	seq      uint64
 	closed   bool
 
+	// Admission-control accounting (guarded by mu): perfmodel cost of
+	// queued and running work, and the completed-execution totals that
+	// calibrate cost units to wall seconds.
+	queuedCost  float64
+	runningCost float64
+	doneCost    float64
+	doneWall    float64
+
 	queue   chan *job
 	wg      sync.WaitGroup
 	baseCtx context.Context
@@ -326,6 +377,7 @@ func (s *Scheduler) Submit(spec scenario.Spec) (JobStatus, error) {
 	}
 	spec = spec.Normalize()
 	hash := spec.Hash()
+	cost := estimateCost(spec)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -342,6 +394,7 @@ func (s *Scheduler) Submit(spec scenario.Spec) (JobStatus, error) {
 		j.cached = true
 		j.result = res
 		j.finished = j.submitted
+		j.changed = nil // no live events; Watch synthesizes from the result
 		close(j.done)
 		return j.statusLocked(), nil
 	}
@@ -393,6 +446,7 @@ func (s *Scheduler) Submit(spec scenario.Spec) (JobStatus, error) {
 	s.counters.CacheMisses++
 
 	j := s.newJobLocked(spec, hash)
+	j.cost = cost
 	select {
 	case s.queue <- j:
 	default:
@@ -402,6 +456,7 @@ func (s *Scheduler) Submit(spec scenario.Spec) (JobStatus, error) {
 		delete(s.jobs, j.id)
 		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.opts.QueueDepth)
 	}
+	s.queuedCost += j.cost
 	s.inflight[hash] = j
 	st := j.statusLocked()
 	if s.opts.Journal == nil {
@@ -461,6 +516,7 @@ func (s *Scheduler) newJobLocked(spec scenario.Spec, hash string) *job {
 		state:     Queued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+		changed:   make(chan struct{}),
 	}
 	s.jobs[j.id] = j
 	return j
@@ -492,6 +548,126 @@ func (s *Scheduler) Await(ctx context.Context, id string) (JobStatus, error) {
 	case <-ctx.Done():
 		return JobStatus{}, ctx.Err()
 	}
+}
+
+// closedChan is a permanently-closed channel for watchers of finished
+// jobs: selecting on it never blocks.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Watch returns a job's hour events from index from on, its current
+// status, and a channel closed when the stream moves — another event
+// arrives or the job reaches a terminal state. The streaming consumer
+// loop: emit the events, stop if the status is terminal, otherwise wait
+// on the channel and call Watch again with the advanced index. For jobs
+// that finished without live events (cache/store hits, physics replays),
+// the events are synthesized from the result with Stored set.
+func (s *Scheduler) Watch(id string, from int) ([]HourEvent, JobStatus, <-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	events := j.eventsLocked()
+	if from < 0 {
+		from = 0
+	}
+	var tail []HourEvent
+	if from < len(events) {
+		tail = append([]HourEvent(nil), events[from:]...)
+	}
+	ch := j.changed
+	if ch == nil {
+		ch = closedChan
+	}
+	return tail, j.statusLocked(), ch, nil
+}
+
+// eventsLocked returns the job's live event stream, or one synthesized
+// from the finished result when the job never simulated (hits, replays);
+// s.mu held.
+func (j *job) eventsLocked() []HourEvent {
+	if len(j.events) > 0 || !j.state.Terminal() || j.result == nil {
+		return j.events
+	}
+	evs := make([]HourEvent, len(j.result.HourlyPeakO3))
+	for i := range evs {
+		steps := 0
+		if j.result.Trace != nil && i < len(j.result.Trace.Hours) {
+			steps = len(j.result.Trace.Hours[i].Steps)
+		}
+		evs[i] = HourEvent{
+			Seq:      i,
+			Hour:     j.spec.StartHour + i,
+			PeakO3:   j.result.HourlyPeakO3[i],
+			PeakCell: j.result.HourlyPeakCell[i],
+			Steps:    steps,
+			Stored:   true,
+		}
+	}
+	return evs
+}
+
+// appendHourEvent adds one hour to a job's progress stream and wakes its
+// watchers. Called from the run's driver goroutine (core.Config.OnHourEnd)
+// and from the warm-start path for stored prefix hours.
+func (s *Scheduler) appendHourEvent(j *job, hs core.HourSummary, stored bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() || j.changed == nil {
+		return
+	}
+	j.events = append(j.events, HourEvent{
+		Seq:      len(j.events),
+		Hour:     hs.Hour,
+		PeakO3:   hs.PeakO3,
+		PeakCell: hs.PeakCell,
+		Steps:    hs.Steps,
+		Attempt:  j.attempts,
+		Stored:   stored,
+	})
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// estimateCost resolves a spec's perfmodel a-priori cost; a failed
+// estimate contributes nothing to admission accounting.
+func estimateCost(spec scenario.Spec) float64 {
+	c, err := perfmodel.CostEstimate(spec)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
+// EstimatedWait estimates how long a job enqueued now would wait before
+// a worker picks it up: the perfmodel cost of all queued and running
+// work, priced at the observed wall-seconds-per-cost-unit of completed
+// executions (before any completion, at the Go host's nominal flop
+// time), spread across the worker pool. This is the Retry-After the
+// admission layer attaches to 429 responses — deliberately a-priori and
+// cheap, not a schedule simulation.
+func (s *Scheduler) EstimatedWait() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.estimatedWaitLocked()
+}
+
+func (s *Scheduler) estimatedWaitLocked() time.Duration {
+	rate := machine.GoHost().FlopTime // seconds per cost unit, a-priori
+	if s.doneCost > 0 && s.doneWall > 0 {
+		rate = s.doneWall / s.doneCost
+	}
+	pending := s.queuedCost + s.runningCost
+	if pending < 0 {
+		pending = 0 // float residue from add/remove churn
+	}
+	secs := pending * rate / float64(s.opts.Workers)
+	return time.Duration(secs * float64(time.Second))
 }
 
 // Cancel cancels a job: a queued job is finalised immediately, a running
@@ -543,6 +719,7 @@ func (s *Scheduler) Counters() Counters {
 	c.Evictions = s.cache.evictions
 	c.CacheEntries = s.cache.len()
 	c.CacheBytes = s.cache.bytes
+	c.EstimatedWaitSeconds = s.estimatedWaitLocked().Seconds()
 	return c
 }
 
@@ -602,6 +779,8 @@ func (s *Scheduler) runJob(j *job) {
 	j.started = time.Now()
 	j.cancel = cancel
 	s.counters.BusyWorkers++
+	s.queuedCost -= j.cost
+	s.runningCost += j.cost
 	s.mu.Unlock()
 	defer cancel()
 
@@ -653,6 +832,12 @@ func (s *Scheduler) runJob(j *job) {
 		} else if warmHour > 0 {
 			s.counters.WarmStarts++
 		}
+		if !wholesale && j.cost > 0 {
+			// Calibrate the admission estimate on real executions (a
+			// physics replay's near-zero wall time would skew it).
+			s.doneCost += j.cost
+			s.doneWall += time.Since(j.started).Seconds()
+		}
 		s.cache.put(j.hash, res)
 		retire = s.finalizeLocked(j, Done, res, nil)
 	case errors.Is(err, context.Canceled):
@@ -683,7 +868,7 @@ func (s *Scheduler) attemptJob(ctx context.Context, j *job) (res *core.Result, w
 	if err := resilience.Fire(resilience.PointSchedExec); err != nil {
 		return nil, 0, false, err
 	}
-	return s.executeJob(ctx, j.spec)
+	return s.executeJob(ctx, j)
 }
 
 // finalizeLocked moves a job to a terminal state; s.mu held. It returns
@@ -697,6 +882,12 @@ func (s *Scheduler) attemptJob(ctx context.Context, j *job) (res *core.Result, w
 func (s *Scheduler) finalizeLocked(j *job, st State, res *core.Result, err error) (retire bool) {
 	if j.state.Terminal() {
 		return false
+	}
+	switch j.state {
+	case Queued:
+		s.queuedCost -= j.cost
+	case Running:
+		s.runningCost -= j.cost
 	}
 	j.state = st
 	j.result = res
@@ -712,6 +903,10 @@ func (s *Scheduler) finalizeLocked(j *job, st State, res *core.Result, err error
 		s.counters.Cancelled++
 	}
 	close(j.done)
+	if j.changed != nil {
+		close(j.changed) // wake watchers for the terminal status
+		j.changed = nil
+	}
 	return s.opts.Journal != nil && j.journaled
 }
 

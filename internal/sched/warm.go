@@ -35,24 +35,30 @@ import (
 // the warm-start path. warmHour is the absolute hour execution resumed
 // from a stored checkpoint (0 = cold); wholesale reports the physics
 // came entirely from stored records, with no simulation at all.
-func (s *Scheduler) executeJob(ctx context.Context, spec scenario.Spec) (res *core.Result, warmHour int, wholesale bool, err error) {
+func (s *Scheduler) executeJob(ctx context.Context, j *job) (res *core.Result, warmHour int, wholesale bool, err error) {
+	spec := j.spec
 	cfg, err := spec.Config()
 	if err != nil {
 		return nil, 0, false, err
 	}
 	cfg.GoParallel = s.opts.GoParallel
 	cfg.HostWorkers = s.opts.HostWorkers
+	cfg.PipelineDepth = s.opts.PipelineDepth
+	// Stream every simulated hour to the job's watchers (SSE consumers);
+	// the hook runs on the run's driver goroutine and only appends under
+	// the scheduler lock, so it cannot stall the hour loop on I/O.
+	cfg.OnHourEnd = func(hs core.HourSummary) { s.appendHourEvent(j, hs, false) }
 	if s.opts.Store == nil {
 		res, err = core.RunContext(ctx, cfg)
 		return res, 0, false, err
 	}
-	return s.executeStored(ctx, spec.Normalize(), cfg)
+	return s.executeStored(ctx, j, spec.Normalize(), cfg)
 }
 
 // executeStored is the store-backed execution: wire the checkpoint sink,
 // find the longest warm-startable physics prefix, and fall back to a
 // cold run when nothing (usable) is stored.
-func (s *Scheduler) executeStored(ctx context.Context, n scenario.Spec, cfg core.Config) (*core.Result, int, bool, error) {
+func (s *Scheduler) executeStored(ctx context.Context, j *job, n scenario.Spec, cfg core.Config) (*core.Result, int, bool, error) {
 	st := s.opts.Store
 	start, end := n.StartHour, n.EndHour()
 	sh := cfg.Dataset.Shape
@@ -88,13 +94,13 @@ func (s *Scheduler) executeStored(ctx context.Context, n scenario.Spec, cfg core
 			continue
 		}
 		if k == end {
-			res, err := s.materialize(n, cfg, segs, snap)
+			res, err := s.materialize(j, n, cfg, segs, snap)
 			if err == nil {
 				return res, k, true, nil
 			}
 			continue // e.g. checkpoint evicted under us: try shorter
 		}
-		res, err := s.warmRun(ctx, n, cfg, segs[:k-start], snap, k)
+		res, err := s.warmRun(ctx, j, n, cfg, segs[:k-start], snap, k)
 		if err == nil {
 			return res, k, false, nil
 		}
@@ -114,9 +120,12 @@ func (s *Scheduler) executeStored(ctx context.Context, n scenario.Spec, cfg core
 
 // warmRun resumes the simulation from the stored checkpoint at absolute
 // hour k and stitches the stored prefix physics with the simulated
-// suffix into the full-run result.
-func (s *Scheduler) warmRun(ctx context.Context, n scenario.Spec, cfg core.Config, prefix []*store.PhysicsRecord, snap []byte, k int) (*core.Result, error) {
+// suffix into the full-run result. The stored prefix hours stream to
+// watchers first (Stored events), then the suffix hours arrive live via
+// the OnHourEnd hook as they simulate.
+func (s *Scheduler) warmRun(ctx context.Context, j *job, n scenario.Spec, cfg core.Config, prefix []*store.PhysicsRecord, snap []byte, k int) (*core.Result, error) {
 	cfg.Hours = n.EndHour() - k
+	s.emitStoredHours(j, n.StartHour, prefix)
 	suffix, err := core.RestartReaderContext(ctx, bytes.NewReader(snap), cfg)
 	if err != nil {
 		return nil, err
@@ -125,10 +134,29 @@ func (s *Scheduler) warmRun(ctx context.Context, n scenario.Spec, cfg core.Confi
 	return assembleResult(cfg, prefix, suffix, suffix.Final)
 }
 
+// emitStoredHours streams warm-start prefix hours to a job's watchers
+// from the stored physics records (firstHour is the absolute hour of
+// segs[0]).
+func (s *Scheduler) emitStoredHours(j *job, firstHour int, segs []*store.PhysicsRecord) {
+	for i, rec := range segs {
+		if len(rec.HourlyPeakO3) != 1 || len(rec.Trace.Hours) != 1 {
+			continue
+		}
+		s.appendHourEvent(j, core.HourSummary{
+			Hour:     firstHour + i,
+			PeakO3:   rec.HourlyPeakO3[0],
+			PeakCell: rec.HourlyPeakCell[0],
+			Steps:    len(rec.Trace.Hours[0].Steps),
+			InBytes:  rec.Trace.Hours[0].InBytes,
+			OutBytes: rec.Trace.Hours[0].OutBytes,
+		}, true)
+	}
+}
+
 // materialize reconstructs the full result from stored physics alone:
 // the trace and peaks from the hour records, the final concentrations
 // from the end-of-run checkpoint. No numerics are recomputed.
-func (s *Scheduler) materialize(n scenario.Spec, cfg core.Config, segs []*store.PhysicsRecord, snap []byte) (*core.Result, error) {
+func (s *Scheduler) materialize(j *job, n scenario.Spec, cfg core.Config, segs []*store.PhysicsRecord, snap []byte) (*core.Result, error) {
 	_, ns, nl, nc, conc, _, err := hourio.ReadSnapshot(bytes.NewReader(snap))
 	if err != nil {
 		return nil, err
@@ -137,7 +165,12 @@ func (s *Scheduler) materialize(n scenario.Spec, cfg core.Config, segs []*store.
 	if ns != sh.Species || nl != sh.Layers || nc != sh.Cells {
 		return nil, fmt.Errorf("sched: stored checkpoint dimensions (%d,%d,%d) do not match data set %v", ns, nl, nc, sh)
 	}
-	return assembleResult(cfg, segs, nil, conc)
+	res, err := assembleResult(cfg, segs, nil, conc)
+	if err != nil {
+		return nil, err
+	}
+	s.emitStoredHours(j, n.StartHour, segs)
+	return res, nil
 }
 
 // assembleResult builds a complete core.Result from stored prefix

@@ -12,6 +12,7 @@
 # Environment:
 #
 #   BENCH     benchmark regex   (default: figures + replay + hot kernels)
+#   PKG       package to bench  (default: the repo root package)
 #   COUNT     -count per bench  (default 5)
 #   BENCHTIME -benchtime        (default 1s)
 #   OUT       JSON output path  (default BENCH_hostengine.json)
@@ -26,6 +27,7 @@ cd "$(git rev-parse --show-toplevel)"
 
 BASE_REF="${1:-HEAD~1}"
 BENCH="${BENCH:-BenchmarkFig2_MachinesLA|BenchmarkFig4_Components|BenchmarkReplayLA24|BenchmarkChemistryColumn|BenchmarkYoungBoris|BenchmarkRedistributeData|BenchmarkMiniHourPhysical}"
+PKG="${PKG:-.}"
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_hostengine.json}"
@@ -49,7 +51,7 @@ git worktree add --detach "$WORKTREE" "$BASE_REF" >/dev/null
 
 run_bench() { # dir outfile
   (cd "$1" && go test -run '^$' -bench "$BENCH" -benchmem \
-    -count "$COUNT" -benchtime "$BENCHTIME" .) | tee "$2"
+    -count "$COUNT" -benchtime "$BENCHTIME" "$PKG") | tee "$2"
 }
 
 echo "== benchmarking base ($BASE_SHA)"

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Streaming smoke test: boot airshedd with the hour pipeline enabled,
+# submit a multi-hour run, and consume GET /v1/runs/{id}/stream with
+# curl -N. Asserts the SSE feed is genuinely incremental — the first
+# "hour" event must arrive while the run is still executing — and that
+# the stream carries one event per hour before closing with a terminal
+# "status" event. Finishes by checking the pipeline gauges moved in
+# /metrics. Dependency-light on purpose: bash, curl, awk, sed, grep.
+set -euo pipefail
+
+PORT="${PORT:-18081}"
+BASE="http://localhost:${PORT}"
+WORKDIR="$(mktemp -d)"
+AIRSHEDD="${AIRSHEDD:-}"
+HOURS="${HOURS:-6}"
+
+cleanup() {
+  [ -n "${CURL_PID:-}" ] && kill "$CURL_PID" 2>/dev/null || true
+  [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  [ -n "${DAEMON_PID:-}" ] && wait "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+if [ -z "$AIRSHEDD" ]; then
+  AIRSHEDD="$WORKDIR/airshedd"
+  go build -o "$AIRSHEDD" ./cmd/airshedd
+fi
+
+"$AIRSHEDD" -addr ":$PORT" -workers 1 -pipeline 2 >"$WORKDIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "airshedd did not come up" >&2; cat "$WORKDIR/daemon.log" >&2; exit 1; }
+
+resp=$(curl -sf "$BASE/v1/runs" -d "{\"dataset\":\"mini\",\"machine\":\"t3e\",\"nodes\":2,\"hours\":$HOURS}")
+id=$(echo "$resp" | sed -n 's/.*"id": *"\(j[0-9]*\)".*/\1/p' | head -n1)
+[ -n "$id" ] || { echo "no job id in response: $resp" >&2; exit 1; }
+echo "run $id submitted ($HOURS hours, pipeline depth 2)"
+
+# Stream in the background; curl -N disables buffering so events land
+# in the file the moment the server flushes them.
+curl -sN "$BASE/v1/runs/$id/stream" >"$WORKDIR/stream.txt" &
+CURL_PID=$!
+
+# The incrementality assertion: the first hour event must be observable
+# while the scheduler still reports the job running.
+state_at_first_hour=""
+for _ in $(seq 1 600); do
+  if grep -q '^event: hour' "$WORKDIR/stream.txt" 2>/dev/null; then
+    state_at_first_hour=$(curl -sf "$BASE/v1/runs/$id" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -n1)
+    break
+  fi
+  sleep 0.05
+done
+[ -n "$state_at_first_hour" ] || { echo "no hour event ever arrived" >&2; cat "$WORKDIR/daemon.log" >&2; exit 1; }
+echo "first hour event arrived with run state: $state_at_first_hour"
+case "$state_at_first_hour" in
+  queued|running) ;;
+  *) echo "stream was not incremental: run already '$state_at_first_hour' at first hour event" >&2; exit 1 ;;
+esac
+
+wait "$CURL_PID"; CURL_PID=""
+
+hour_events=$(grep -c '^event: hour' "$WORKDIR/stream.txt")
+[ "$hour_events" -eq "$HOURS" ] || {
+  echo "stream carried $hour_events hour events, want $HOURS" >&2
+  cat "$WORKDIR/stream.txt" >&2; exit 1
+}
+grep -q '^event: status' "$WORKDIR/stream.txt" || { echo "stream missing terminal status event" >&2; exit 1; }
+grep -A1 '^event: status' "$WORKDIR/stream.txt" | grep -q '"state": *"done"' || {
+  echo "terminal status event is not done:" >&2
+  grep -A1 '^event: status' "$WORKDIR/stream.txt" >&2; exit 1
+}
+
+prefetched=$(curl -sf "$BASE/metrics" | awk '$1 == "airshedd_pipeline_prefetched_hours_total" {print $2}')
+written=$(curl -sf "$BASE/metrics" | awk '$1 == "airshedd_pipeline_written_hours_total" {print $2}')
+echo "pipeline gauges: prefetched=${prefetched:-0} written=${written:-0}"
+if [ "${prefetched:-0}" -lt "$HOURS" ] || [ "${written:-0}" -lt "$HOURS" ]; then
+  echo "pipeline stages did not engage" >&2
+  curl -s "$BASE/metrics" >&2
+  exit 1
+fi
+echo "stream smoke OK"
