@@ -20,6 +20,7 @@
 //	POST /v1/sweeps        submit a batch study (JSON sweep.Request)
 //	GET  /v1/sweeps        list sweeps
 //	GET  /v1/sweeps/{id}   sweep progress + aggregate policy table
+//	DELETE /v1/sweeps/{id} cancel a sweep's unstarted jobs
 //	GET  /v1/sweeps/{id}/stream SSE: "progress" events as jobs finish, closed
 //	                       by a final "sweep" event with the aggregate table
 //	GET  /v1/predict       analytic *performance* prediction (runtime/memory
@@ -55,6 +56,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -99,14 +101,23 @@ func run() error {
 
 		showVersion = flag.Bool("version", false, "print version and exit")
 
+		// Deterministic chaos: the same seed and rate reproduce the exact
+		// same fault schedule, so a chaotic run that diverges is a real bug.
+		faultSeed   = flag.Uint64("fault-seed", 0, "deterministic fault-injection seed (with -fault-rate)")
+		faultRate   = flag.Float64("fault-rate", 0, "inject transient faults at -fault-points with this probability (0 disables)")
+		faultPoints = flag.String("fault-points", "", "comma-separated injection points (default: all known points; see internal/resilience)")
+
 		fleetCoordinator = flag.Bool("fleet-coordinator", false, "serve the fleet coordinator API (/v1/fleet/*); requires -store")
 		fleetWorker      = flag.String("fleet-worker", "", "coordinator base URL; run as a fleet worker using the coordinator's store")
 		fleetName        = flag.String("fleet-name", "", "fleet worker name (default <host>:<port> of -addr)")
 		fleetSelfURL     = flag.String("fleet-self-url", "", "this worker's base URL as reachable from the coordinator (default http://127.0.0.1:<port>)")
 		fleetMachine     = flag.String("fleet-machine", "gohost", "machine profile this worker advertises for fleet bin-packing")
 		fleetHeartbeat   = flag.Duration("fleet-heartbeat", 2*time.Second, "fleet heartbeat interval")
+		fleetMaxBackoff  = flag.Duration("fleet-max-backoff", 30*time.Second, "worker: cap on the re-register retry backoff when the coordinator is unreachable")
 		fleetHBTimeout   = flag.Duration("fleet-heartbeat-timeout", 10*time.Second, "coordinator: declare a worker lost after this silence")
 		fleetPoll        = flag.Duration("fleet-poll", 500*time.Millisecond, "coordinator: shard progress poll interval")
+		fleetJournalPath = flag.String("fleet-journal", "", "coordinator sweep journal file (default <store>/fleet.wal; \"off\" disables); journaled sweeps resume across restarts")
+		fleetHedge       = flag.Float64("fleet-hedge", 0, "coordinator: hedge a shard running this multiple of its estimated duration (0 = default 4, <0 disables)")
 	)
 	flag.Parse()
 
@@ -116,6 +127,23 @@ func run() error {
 	}
 	if *fleetCoordinator && *fleetWorker != "" {
 		return fmt.Errorf("-fleet-coordinator and -fleet-worker are mutually exclusive")
+	}
+
+	// Fault injection arms before any subsystem starts, so boot-time
+	// paths (journal replay, registration) are under chaos too.
+	if *faultRate > 0 {
+		points := resilience.Points()
+		if *faultPoints != "" {
+			points = strings.Split(*faultPoints, ",")
+		}
+		inj := resilience.New(*faultSeed)
+		for _, pt := range points {
+			inj.Set(strings.TrimSpace(pt), *faultRate)
+		}
+		resilience.Enable(inj)
+		defer resilience.Disable()
+		fmt.Printf("airshedd: fault injection: seed %d, rate %.3f at %s\n",
+			*faultSeed, *faultRate, strings.Join(points, ","))
 	}
 
 	var artifacts *store.Store
@@ -182,14 +210,45 @@ func run() error {
 	replayJournal(journal, scheduler)
 
 	var coordinator *fleet.Coordinator
+	var fleetJournal *resilience.Journal
 	if *fleetCoordinator {
+		// Durable sweep state: submissions are journaled before dispatch,
+		// so a coordinator killed mid-sweep resumes on restart.
+		switch {
+		case *fleetJournalPath == "off":
+		case *fleetJournalPath != "":
+			var err error
+			if fleetJournal, err = resilience.OpenJournal(*fleetJournalPath); err != nil {
+				return err
+			}
+		default:
+			var err error
+			if fleetJournal, err = resilience.OpenJournal(filepath.Join(*storeDir, "fleet.wal")); err != nil {
+				return err
+			}
+		}
+		if fleetJournal != nil {
+			defer fleetJournal.Close()
+			if w := fleetJournal.Warning(); w != nil {
+				fmt.Fprintln(os.Stderr, "airshedd: fleet journal recovery was partial:", w)
+			}
+		}
 		coordinator = fleet.NewCoordinator(fleet.Options{
 			HeartbeatTimeout: *fleetHBTimeout,
 			PollInterval:     *fleetPoll,
+			Journal:          fleetJournal,
+			Store:            artifacts,
+			HedgeFactor:      *fleetHedge,
 			Logf: func(format string, args ...any) {
 				fmt.Printf("airshedd: "+format+"\n", args...)
 			},
 		})
+		defer coordinator.Close()
+		if n, err := coordinator.Recover(); err != nil {
+			return fmt.Errorf("fleet journal recovery: %w", err)
+		} else if n > 0 {
+			fmt.Printf("airshedd: fleet journal: resumed %d sweeps\n", n)
+		}
 	}
 
 	// Conservative edge timeouts: slow-header clients are cut off, idle
@@ -204,7 +263,7 @@ func run() error {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(scheduler, artifacts, *pprofFlag, coordinator, role).handler(),
+		Handler:           newServer(scheduler, artifacts, *pprofFlag, coordinator, role).withJournals(journal, fleetJournal).handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -235,6 +294,7 @@ func run() error {
 			Workers:     *workers,
 			Version:     version,
 			Interval:    *fleetHeartbeat,
+			MaxBackoff:  *fleetMaxBackoff,
 			Scheduler:   scheduler,
 			Store:       artifacts,
 			Logf: func(format string, args ...any) {

@@ -17,6 +17,7 @@ import (
 	"airshed/internal/machine"
 	"airshed/internal/perfmodel"
 	"airshed/internal/report"
+	"airshed/internal/resilience"
 	"airshed/internal/scenario"
 	"airshed/internal/sched"
 	"airshed/internal/sr"
@@ -64,6 +65,11 @@ type server struct {
 	sr      *sr.Service // source–receptor matrix builds + serving
 	profile bool        // expose net/http/pprof under /debug/pprof/
 
+	// Crash-recovery journals, for /healthz warning surfacing: the
+	// scheduler's job WAL and (coordinator only) the fleet sweep WAL.
+	schedJournal *resilience.Journal
+	fleetJournal *resilience.Journal
+
 	traceMu sync.Mutex
 	traces  map[string]*traceEntry
 }
@@ -88,6 +94,14 @@ func newServer(s *sched.Scheduler, st *store.Store, profile bool, coord *fleet.C
 	}
 }
 
+// withJournals attaches the crash-recovery journals so /healthz can
+// surface partial-recovery warnings. Either may be nil.
+func (s *server) withJournals(schedJ, fleetJ *resilience.Journal) *server {
+	s.schedJournal = schedJ
+	s.fleetJournal = fleetJ
+	return s
+}
+
 // handler builds the route table.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
@@ -97,6 +111,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleSweepStream)
 	// Two distinct predict paths. GET /v1/predict is "perf-predict": the
 	// §4 analytic *performance* model — how long would this run take on
@@ -197,6 +212,17 @@ func (s *server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleSweepList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sweeps.List())
+}
+
+// handleSweepCancel abandons a sweep's unstarted jobs (running jobs are
+// cancelled where the scheduler still can). The fleet coordinator uses
+// this to call off the losing copy of a hedged shard.
+func (s *server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.sweeps.Cancel(r.PathValue("id")); err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // statusResponse reports one job; Summary is present once the run is
@@ -493,6 +519,13 @@ type healthResponse struct {
 	FleetWorkers int    `json:"fleet_workers,omitempty"` // live workers (coordinator only)
 	SRMatrices   int    `json:"sr_matrices"`             // SR matrices resident in memory
 
+	// Journal warnings: non-empty when a crash-recovery replay was
+	// partial (corrupt frames skipped). The daemon keeps serving — the
+	// skipped work re-resolves through the store or recomputes — but
+	// operators should know the WAL took damage.
+	JournalWarning      string `json:"journal_warning,omitempty"`
+	FleetJournalWarning string `json:"fleet_journal_warning,omitempty"`
+
 	// Admission pressure: how deep the submission queue is right now and
 	// the perfmodel-derived estimate of how long a new job would wait —
 	// the same figure a 429's Retry-After is cut from.
@@ -514,6 +547,16 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.coord != nil {
 		h.FleetWorkers = s.coord.Gauges().WorkersLive
+	}
+	if s.schedJournal != nil {
+		if warn := s.schedJournal.Warning(); warn != nil {
+			h.JournalWarning = warn.Error()
+		}
+	}
+	if s.fleetJournal != nil {
+		if warn := s.fleetJournal.Warning(); warn != nil {
+			h.FleetJournalWarning = warn.Error()
+		}
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -569,8 +612,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "airshedd_fleet_workers_lost %d\n", g.WorkersLost)
 		fmt.Fprintf(w, "airshedd_fleet_sweeps_started_total %d\n", g.SweepsStarted)
 		fmt.Fprintf(w, "airshedd_fleet_sweeps_running %d\n", g.SweepsRunning)
+		fmt.Fprintf(w, "airshedd_fleet_sweeps_recovered_total %d\n", g.SweepsRecovered)
 		fmt.Fprintf(w, "airshedd_fleet_shards_dispatched_total %d\n", g.ShardsDispatched)
 		fmt.Fprintf(w, "airshedd_fleet_shards_reassigned_total %d\n", g.ShardsReassigned)
+		fmt.Fprintf(w, "airshedd_fleet_hedges %d\n", g.Hedges)
+		fmt.Fprintf(w, "airshedd_fleet_breakers_open %d\n", g.BreakersOpen)
 	}
 	sm := s.sr.Metrics()
 	fmt.Fprintf(w, "airshedd_sr_predicts_total %d\n", sm.Predicts)

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -580,6 +582,78 @@ func TestHealthz(t *testing.T) {
 	// No -store in this configuration: healthy, no breaker to report.
 	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Store != "" {
 		t.Errorf("healthz: %d %+v", resp.StatusCode, h)
+	}
+}
+
+// TestHealthzSurfacesJournalWarnings: a journal whose replay was
+// partial (torn tail, corrupt frames) keeps the daemon serving, but
+// /healthz must carry the warning — for the scheduler's job WAL and the
+// fleet coordinator's sweep WAL alike.
+func TestHealthzSurfacesJournalWarnings(t *testing.T) {
+	// Build two journals with damaged tails: accepted records followed by
+	// garbage bytes, so reopening recovers a prefix and sets Warning.
+	tornJournal := func(name string) *resilience.Journal {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), name)
+		j, err := resilience.OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Accept("j000001", []byte(`{"dataset":"mini"}`)); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("torn frame garbage")); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		j2, err := resilience.OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j2.Warning() == nil {
+			t.Fatal("damaged journal reopened with a nil Warning — test stages nothing")
+		}
+		t.Cleanup(func() { j2.Close() })
+		return j2
+	}
+
+	scheduler := sched.New(sched.Options{Workers: 1, GoParallel: true})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		scheduler.Shutdown(ctx)
+	})
+	srv := newServer(scheduler, nil, false, nil, "").
+		withJournals(tornJournal("journal.wal"), tornJournal("fleet.wal"))
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status              string `json:"status"`
+		JournalWarning      string `json:"journal_warning"`
+		FleetJournalWarning string `json:"fleet_journal_warning"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Errorf("partial journal recovery must not fail liveness: %d %+v", resp.StatusCode, h)
+	}
+	if !strings.Contains(h.JournalWarning, "journal") {
+		t.Errorf("journal_warning = %q, want the replay warning", h.JournalWarning)
+	}
+	if !strings.Contains(h.FleetJournalWarning, "journal") {
+		t.Errorf("fleet_journal_warning = %q, want the replay warning", h.FleetJournalWarning)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"airshed/internal/resilience"
 	"airshed/internal/sched"
 	"airshed/internal/store"
 )
@@ -32,6 +33,11 @@ type AgentOptions struct {
 	Version string
 	// Interval is the heartbeat cadence (default 2s).
 	Interval time.Duration
+	// MaxBackoff caps the re-register backoff while the coordinator is
+	// unreachable (default 30s). The backoff is exponential from Interval
+	// with a deterministic per-worker jitter, so a whole fleet waking to
+	// a restarted coordinator does not re-register as a thundering herd.
+	MaxBackoff time.Duration
 	// Scheduler, when set, feeds queue depth and busy workers into
 	// heartbeats.
 	Scheduler *sched.Scheduler
@@ -65,6 +71,12 @@ func StartAgent(opts AgentOptions) (*Agent, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = 2 * time.Second
 	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 30 * time.Second
+	}
+	if opts.MaxBackoff < opts.Interval {
+		opts.MaxBackoff = opts.Interval
+	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
@@ -94,16 +106,20 @@ func (a *Agent) Stop() {
 func (a *Agent) loop() {
 	defer close(a.done)
 	registered := a.register()
-	t := time.NewTicker(a.opts.Interval)
-	defer t.Stop()
+	fails := 0
 	for {
 		select {
 		case <-a.stop:
 			return
-		case <-t.C:
+		case <-time.After(a.delay(fails)):
 		}
 		if !registered {
 			registered = a.register()
+			if registered {
+				fails = 0
+			} else {
+				fails++
+			}
 			continue
 		}
 		if err := a.beat(); err != nil {
@@ -112,8 +128,28 @@ func (a *Agent) loop() {
 			// it restarted and forgot us (re-register re-creates the
 			// record); re-registering covers both.
 			registered = false
+			fails++
+		} else {
+			fails = 0
 		}
 	}
+}
+
+// delay is the wait before the next register/heartbeat attempt: the
+// plain cadence while healthy, capped exponential backoff with
+// deterministic per-worker jitter after fails consecutive failures.
+func (a *Agent) delay(fails int) time.Duration {
+	if fails == 0 {
+		return a.opts.Interval
+	}
+	p := resilience.RetryPolicy{
+		BaseDelay:  a.opts.Interval,
+		MaxDelay:   a.opts.MaxBackoff,
+		Multiplier: 2,
+		Jitter:     0.5,
+		Seed:       resilience.HashKey(a.opts.Name),
+	}.WithDefaults()
+	return p.Delay(fails, resilience.HashKey(a.opts.Name))
 }
 
 // register announces the worker; reports success.
@@ -135,7 +171,13 @@ func (a *Agent) register() bool {
 }
 
 // beat sends one heartbeat with the worker's live load and store view.
+// The fleet.heartbeat injection point drops the beat before it leaves
+// the process — the shape of a lossy network — which the loop treats
+// exactly like a refused connection: back off and re-register.
 func (a *Agent) beat() error {
+	if err := resilience.Fire(resilience.PointFleetHeartbeat); err != nil {
+		return err
+	}
 	hb := Heartbeat{Name: a.opts.Name}
 	if a.opts.Scheduler != nil {
 		sc := a.opts.Scheduler.Counters()

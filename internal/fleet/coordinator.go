@@ -9,11 +9,15 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"airshed/internal/machine"
+	"airshed/internal/perfmodel"
+	"airshed/internal/resilience"
 	"airshed/internal/scenario"
+	"airshed/internal/store"
 	"airshed/internal/sweep"
 )
 
@@ -43,8 +47,36 @@ type Options struct {
 	// 30s-timeout default.
 	Client *http.Client
 	// Logf, when set, receives one line per fleet event (registration,
-	// dispatch, loss, reassignment).
+	// dispatch, loss, reassignment, hedge, recovery).
 	Logf func(format string, args ...any)
+
+	// Journal, when set, makes sweep state durable: submissions, shard
+	// assignments and completions are written ahead (CRC-framed,
+	// fsynced), so a coordinator killed mid-sweep resumes its sweeps on
+	// restart via Recover.
+	Journal *resilience.Journal
+	// Store, when set, lets Recover resolve journaled specs against the
+	// artifact store: specs whose results already persisted count as
+	// completed without re-dispatch.
+	Store *store.Store
+	// Retry is the dispatch retry policy (deterministic jitter; zero
+	// value takes the resilience defaults).
+	Retry resilience.RetryPolicy
+	// BreakerThreshold and BreakerCooldown tune the per-worker dispatch
+	// circuit breakers (zero values take the resilience defaults). A
+	// worker whose breaker is open is skipped by the packer until its
+	// cooldown admits a probe dispatch.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// HedgeFactor controls straggler hedging: a running shard whose age
+	// exceeds HedgeFactor × its perfmodel-estimated duration (floored at
+	// HedgeMinDelay) is speculatively re-dispatched to an idle worker.
+	// 0 takes the default (4); negative disables hedging.
+	HedgeFactor float64
+	// HedgeMinDelay floors the hedge deadline so short shards are never
+	// hedged on estimate noise (default 5s).
+	HedgeMinDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +95,13 @@ func (o Options) withDefaults() Options {
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	o.Retry = o.Retry.WithDefaults()
+	if o.HedgeFactor == 0 {
+		o.HedgeFactor = 4
+	}
+	if o.HedgeMinDelay <= 0 {
+		o.HedgeMinDelay = 5 * time.Second
+	}
 	return o
 }
 
@@ -79,14 +118,28 @@ type workerState struct {
 
 // shard is one dispatched unit of a fleet sweep.
 type shard struct {
+	seq       int // journal sequence, unique within the sweep
 	worker    string
 	url       string
 	specs     []scenario.Spec
 	remoteID  string
-	state     string // "dispatching", "running", "done", "lost"
+	state     string // "dispatching", "running", "done", "lost", "cancelled"
 	completed int
 	failed    int
 	pollFails int
+
+	// Hedging bookkeeping: when this shard falls far enough behind est
+	// (its perfmodel-estimated duration on its worker), a speculative
+	// twin is dispatched to an idle worker; partner links the two, and
+	// the first to finish cancels the other.
+	dispatched time.Time
+	est        time.Duration
+	hedge      bool
+	partner    *shard
+}
+
+func terminalShard(state string) bool {
+	return state == "done" || state == "lost" || state == "cancelled"
 }
 
 // fleetSweep is the coordinator's record of one sharded sweep.
@@ -101,6 +154,31 @@ type fleetSweep struct {
 	started time.Time
 	ended   time.Time
 	done    chan struct{}
+
+	shardSeq int
+	// recoveredDone counts specs Recover resolved as store hits — work
+	// finished before the crash that needs no re-dispatch.
+	recoveredDone int
+	recovered     bool
+	// retire queues shard journal IDs whose Done must be written; the
+	// append (an fsync) happens outside c.mu via drainRetire.
+	retire []string
+}
+
+// sweepRecord is the journal payload of one sweep submission ("fs:" ids).
+type sweepRecord struct {
+	Name  string          `json:"name,omitempty"`
+	Specs []scenario.Spec `json:"specs"`
+}
+
+// shardRecord is the journal payload of one shard assignment ("sh:" ids)
+// — observability for the reconcile pass, which retires them wholesale
+// (a restart invalidates every in-flight shard).
+type shardRecord struct {
+	Sweep  string `json:"sweep"`
+	Worker string `json:"worker"`
+	Specs  int    `json:"specs"`
+	Hedge  bool   `json:"hedge,omitempty"`
 }
 
 // Coordinator is the fleet's control plane: the worker registry plus
@@ -109,24 +187,108 @@ type fleetSweep struct {
 type Coordinator struct {
 	opts Options
 
-	mu      sync.Mutex
-	workers map[string]*workerState
-	sweeps  map[string]*fleetSweep
-	order   []string
-	seq     int
+	mu       sync.Mutex
+	workers  map[string]*workerState
+	sweeps   map[string]*fleetSweep
+	order    []string
+	seq      int
+	breakers map[string]*resilience.Breaker
 
 	sweepsStarted    int
+	sweepsRecovered  int
 	shardsDispatched int
 	shardsReassigned int
+	hedges           int
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
-// NewCoordinator creates an empty coordinator.
+// NewCoordinator creates an empty coordinator. If opts.Journal is set,
+// call Recover before serving to resume journaled sweeps.
 func NewCoordinator(opts Options) *Coordinator {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Coordinator{
-		opts:    opts.withDefaults(),
-		workers: make(map[string]*workerState),
-		sweeps:  make(map[string]*fleetSweep),
+		opts:     opts.withDefaults(),
+		workers:  make(map[string]*workerState),
+		sweeps:   make(map[string]*fleetSweep),
+		breakers: make(map[string]*resilience.Breaker),
+		ctx:      ctx,
+		cancel:   cancel,
+		closed:   make(chan struct{}),
 	}
+}
+
+// Close stops every sweep's run loop and any in-flight dispatch retry.
+// Sweeps that were running stay un-done (their journal entries survive,
+// so a new coordinator over the same journal resumes them). Idempotent.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.cancel()
+	})
+}
+
+// breakerLocked returns (creating on first use) the dispatch breaker of
+// one worker; c.mu held.
+func (c *Coordinator) breakerLocked(name string) *resilience.Breaker {
+	b := c.breakers[name]
+	if b == nil {
+		b = resilience.NewBreaker(c.opts.BreakerThreshold, c.opts.BreakerCooldown)
+		c.breakers[name] = b
+	}
+	return b
+}
+
+func (c *Coordinator) breaker(name string) *resilience.Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.breakerLocked(name)
+}
+
+// journalAccept writes one Accept record; nil-safe. Errors from shard
+// records are logged, not fatal — the worst case is a restart
+// re-resolving work the store already holds.
+func (c *Coordinator) journalAccept(id string, v any) error {
+	if c.opts.Journal == nil {
+		return nil
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return c.opts.Journal.Accept(id, payload)
+}
+
+// journalDone retires one journal record; nil-safe, best-effort.
+func (c *Coordinator) journalDone(id string) {
+	if c.opts.Journal == nil {
+		return
+	}
+	if err := c.opts.Journal.Done(id); err != nil {
+		c.opts.Logf("fleet: journal done %s: %v", id, err)
+	}
+}
+
+// drainRetire flushes queued shard-journal retirements outside c.mu
+// (Done fsyncs; holding the coordinator lock across a disk flush would
+// stall heartbeats behind slow storage).
+func (c *Coordinator) drainRetire(fs *fleetSweep) {
+	c.mu.Lock()
+	ids := fs.retire
+	fs.retire = nil
+	c.mu.Unlock()
+	for _, id := range ids {
+		c.journalDone(id)
+	}
+}
+
+func sweepJournalID(fsID string) string { return "fs:" + fsID }
+
+func shardJournalID(fsID string, seq int) string {
+	return fmt.Sprintf("sh:%s:%04d", fsID, seq)
 }
 
 // Register adds or refreshes a worker. Re-registration (same name)
@@ -179,7 +341,7 @@ func (c *Coordinator) Workers() []WorkerView {
 	c.markLostLocked()
 	out := make([]WorkerView, 0, len(c.workers))
 	for _, w := range c.workers {
-		out = append(out, WorkerView{
+		wv := WorkerView{
 			Name:        w.Name,
 			URL:         w.URL,
 			Machine:     w.Machine,
@@ -191,7 +353,11 @@ func (c *Coordinator) Workers() []WorkerView {
 			Lost:        w.lost,
 			QueueDepth:  w.queueDepth,
 			BusyWorkers: w.busyWorkers,
-		})
+		}
+		if b, ok := c.breakers[w.Name]; ok {
+			wv.Breaker = b.State().String()
+		}
+		out = append(out, wv)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -211,13 +377,18 @@ func (c *Coordinator) markLostLocked() {
 }
 
 // liveLocked returns the live workers as packing capacities plus their
-// URLs, sorted by name for deterministic placement; c.mu held.
+// URLs, sorted by name for deterministic placement; c.mu held. Workers
+// whose dispatch breaker is open are excluded — re-admitted when the
+// cooldown half-opens it.
 func (c *Coordinator) liveLocked() ([]Capacity, map[string]string) {
 	c.markLostLocked()
 	var caps []Capacity
 	urls := make(map[string]string)
 	for _, w := range c.workers {
 		if w.lost {
+			continue
+		}
+		if b, ok := c.breakers[w.Name]; ok && !b.Ready() {
 			continue
 		}
 		slots := w.HostWorkers
@@ -239,14 +410,21 @@ func (c *Coordinator) Gauges() Gauges {
 	g := Gauges{
 		WorkersRegistered: len(c.workers),
 		SweepsStarted:     c.sweepsStarted,
+		SweepsRecovered:   c.sweepsRecovered,
 		ShardsDispatched:  c.shardsDispatched,
 		ShardsReassigned:  c.shardsReassigned,
+		Hedges:            c.hedges,
 	}
 	for _, w := range c.workers {
 		if w.lost {
 			g.WorkersLost++
 		} else {
 			g.WorkersLive++
+		}
+	}
+	for _, b := range c.breakers {
+		if b.State() != resilience.BreakerClosed {
+			g.BreakersOpen++
 		}
 	}
 	for _, fs := range c.sweeps {
@@ -257,9 +435,9 @@ func (c *Coordinator) Gauges() Gauges {
 	return g
 }
 
-// StartSweep expands a sweep request, packs it across the live workers
-// and begins dispatching in the background. The returned status is the
-// initial snapshot; poll with Status or block with Await.
+// StartSweep expands a sweep request, journals it, packs it across the
+// live workers and begins dispatching in the background. The returned
+// status is the initial snapshot; poll with Status or block with Await.
 func (c *Coordinator) StartSweep(req sweep.Request) (SweepStatus, error) {
 	specs, err := req.Expand()
 	if err != nil {
@@ -276,9 +454,17 @@ func (c *Coordinator) StartSweep(req sweep.Request) (SweepStatus, error) {
 		return SweepStatus{}, ErrNoWorkers
 	}
 	c.seq++
-	c.sweepsStarted++
+	id := fmt.Sprintf("f%04d", c.seq)
+	c.mu.Unlock()
+
+	// Write-ahead before the sweep exists anywhere else: once StartSweep
+	// returns success, a crash cannot lose the submission.
+	if err := c.journalAccept(sweepJournalID(id), sweepRecord{Name: req.Name, Specs: specs}); err != nil {
+		return SweepStatus{}, fmt.Errorf("fleet: journaling sweep: %w", err)
+	}
+
 	fs := &fleetSweep{
-		id:      fmt.Sprintf("f%04d", c.seq),
+		id:      id,
 		name:    req.Name,
 		specs:   specs,
 		pending: specs,
@@ -286,6 +472,8 @@ func (c *Coordinator) StartSweep(req sweep.Request) (SweepStatus, error) {
 		started: time.Now(),
 		done:    make(chan struct{}),
 	}
+	c.mu.Lock()
+	c.sweepsStarted++
 	c.sweeps[fs.id] = fs
 	c.order = append(c.order, fs.id)
 	c.mu.Unlock()
@@ -300,10 +488,108 @@ func (c *Coordinator) StartSweep(req sweep.Request) (SweepStatus, error) {
 		fs.ended = time.Now()
 		c.mu.Unlock()
 		close(fs.done)
+		c.journalDone(sweepJournalID(fs.id))
 		return c.Status(fs.id)
 	}
 	go c.run(fs)
 	return c.Status(fs.id)
+}
+
+// Recover rebuilds sweeps from the journal's pending set — the reconcile
+// pass of a coordinator restart. For every journaled sweep, each spec is
+// resolved against the store: results already persisted count as
+// completed (the work a dead coordinator's workers finished was never
+// lost), the rest re-enter pending and re-pack across workers as they
+// re-register. Stale shard records are retired wholesale — a restart
+// invalidates every in-flight dispatch; their specs re-resolve through
+// the store or recompute bit-identically. Returns the number of sweeps
+// resumed (still-running) plus those that closed immediately as full
+// store hits. Call once, before serving traffic.
+func (c *Coordinator) Recover() (int, error) {
+	if c.opts.Journal == nil {
+		return 0, nil
+	}
+	pending := c.opts.Journal.Pending()
+	ids := make([]string, 0, len(pending))
+	for id := range pending {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	recovered := 0
+	for _, id := range ids {
+		if !strings.HasPrefix(id, "fs:") {
+			// Shard assignments (and anything unrecognised) from the dead
+			// incarnation: meaningless now, retire.
+			c.journalDone(id)
+			continue
+		}
+		var rec sweepRecord
+		if err := json.Unmarshal(pending[id], &rec); err != nil {
+			c.opts.Logf("fleet: journal %s: undecodable payload, dropping: %v", id, err)
+			c.journalDone(id)
+			continue
+		}
+		fsID := strings.TrimPrefix(id, "fs:")
+		var n int
+		if _, err := fmt.Sscanf(fsID, "f%04d", &n); err != nil {
+			c.opts.Logf("fleet: journal %s: unrecognised sweep id, dropping", id)
+			c.journalDone(id)
+			continue
+		}
+
+		// Reconcile against the store: completed shards' specs are hits.
+		var unresolved []scenario.Spec
+		hits := 0
+		for _, sp := range rec.Specs {
+			if c.opts.Store != nil {
+				if _, ok := c.opts.Store.GetResult(sp.Hash()); ok {
+					hits++
+					continue
+				}
+			}
+			unresolved = append(unresolved, sp)
+		}
+
+		fs := &fleetSweep{
+			id:            fsID,
+			name:          rec.Name,
+			specs:         rec.Specs,
+			pending:       unresolved,
+			state:         "running",
+			started:       time.Now(),
+			done:          make(chan struct{}),
+			recovered:     true,
+			recoveredDone: hits,
+		}
+		c.mu.Lock()
+		if n > c.seq {
+			c.seq = n // never re-issue a journaled sweep ID
+		}
+		c.sweepsRecovered++
+		c.sweeps[fs.id] = fs
+		c.order = append(c.order, fs.id)
+		c.mu.Unlock()
+		recovered++
+
+		if len(unresolved) == 0 {
+			c.mu.Lock()
+			fs.state = "done"
+			fs.ended = time.Now()
+			c.mu.Unlock()
+			close(fs.done)
+			c.journalDone(id)
+			c.opts.Logf("fleet: sweep %s recovered complete (%d/%d specs already in store)",
+				fs.id, hits, len(rec.Specs))
+			continue
+		}
+		c.opts.Logf("fleet: sweep %s recovered: %d/%d specs resolved from store, %d to re-dispatch",
+			fs.id, hits, len(rec.Specs), len(unresolved))
+		// The run loop re-packs once workers re-register; no worker yet is
+		// not an error (boot order is free).
+		go c.run(fs)
+	}
+	return recovered, nil
 }
 
 // assignPending packs fs's pending specs over the live workers and
@@ -338,11 +624,15 @@ func (c *Coordinator) assignPending(fs *fleetSweep) error {
 		if len(specs) == 0 {
 			continue
 		}
+		fs.shardSeq++
 		sh := &shard{
-			worker: caps[i].Name,
-			url:    urls[caps[i].Name],
-			specs:  specs,
-			state:  "dispatching",
+			seq:        fs.shardSeq,
+			worker:     caps[i].Name,
+			url:        urls[caps[i].Name],
+			specs:      specs,
+			state:      "dispatching",
+			dispatched: time.Now(),
+			est:        estimateShardDuration(specs, caps[i]),
 		}
 		fs.shards = append(fs.shards, sh)
 		newShards = append(newShards, sh)
@@ -351,44 +641,115 @@ func (c *Coordinator) assignPending(fs *fleetSweep) error {
 	c.mu.Unlock()
 
 	for _, sh := range newShards {
+		if err := c.journalAccept(shardJournalID(fs.id, sh.seq),
+			shardRecord{Sweep: fs.id, Worker: sh.worker, Specs: len(sh.specs)}); err != nil {
+			c.opts.Logf("fleet: journaling shard %s/%d: %v", fs.id, sh.seq, err)
+		}
 		c.dispatch(fs, sh)
 	}
+	c.drainRetire(fs)
 	return nil
 }
 
+// estimateShardDuration prices a shard on its worker: the perfmodel
+// cost sum over the worker's effective speed. Zero when any estimate
+// fails — the hedge deadline then rests on HedgeMinDelay alone.
+func estimateShardDuration(specs []scenario.Spec, cap Capacity) time.Duration {
+	var total float64
+	for _, sp := range specs {
+		cost, err := perfmodel.CostEstimate(sp)
+		if err != nil {
+			return 0
+		}
+		total += cost
+	}
+	return time.Duration(total / cap.Speed() * float64(time.Second))
+}
+
 // dispatch posts one shard to its worker's /v1/sweeps as a specs-only
-// sweep request; the worker's own engine then runs its seed pass and
-// jobs against the coordinator-backed store.
+// sweep request, retrying transient failures (injected faults at
+// fleet.dispatch, transport errors, 5xx) under the coordinator's retry
+// policy with a deterministic per-worker jitter key. Each dispatch
+// scores the worker's circuit breaker exactly once; an open breaker
+// requeues the shard without marking the worker lost (heartbeats may
+// still be arriving — only the dispatch path is sick).
 func (c *Coordinator) dispatch(fs *fleetSweep, sh *shard) {
+	br := c.breaker(sh.worker)
+	if !br.Allow() {
+		c.mu.Lock()
+		c.requeueShardLocked(fs, sh, "dispatch breaker open")
+		c.mu.Unlock()
+		return
+	}
 	req := sweep.Request{
 		Name:  fmt.Sprintf("%s/%s", fs.id, sh.worker),
 		Specs: sh.specs,
 	}
 	var st sweep.Status
-	err := c.postJSON(sh.url+"/v1/sweeps", req, &st)
+	_, err := resilience.Retry(c.ctx, c.opts.Retry, resilience.HashKey(sh.worker), func() error {
+		if ferr := resilience.Fire(resilience.PointFleetDispatch); ferr != nil {
+			return ferr
+		}
+		return c.postJSON(sh.url+"/v1/sweeps", req, &st)
+	})
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
+		br.Failure()
 		c.opts.Logf("fleet: dispatch to %s failed: %v", sh.worker, err)
 		c.loseShardLocked(fs, sh)
 		return
 	}
+	br.Success()
+	if sh.state == "cancelled" {
+		// The hedge race resolved against this copy while the POST was in
+		// flight; undo it on the worker.
+		go c.cancelRemote(sh.url, st.ID)
+		return
+	}
 	sh.remoteID = st.ID
 	sh.state = "running"
+	sh.dispatched = time.Now()
 	c.opts.Logf("fleet: sweep %s: %d specs -> %s (remote %s)",
 		fs.id, len(sh.specs), sh.worker, st.ID)
 }
 
-// loseShardLocked marks a shard's worker lost and queues the shard's
-// specs for reassignment; c.mu held. Specs the worker already finished
-// re-resolve as store hits, so requeueing the whole shard is safe.
-func (c *Coordinator) loseShardLocked(fs *fleetSweep, sh *shard) {
-	if sh.state == "lost" || sh.state == "done" {
+// requeueShardLocked sends a shard's specs back to pending without
+// blaming the worker; c.mu held.
+func (c *Coordinator) requeueShardLocked(fs *fleetSweep, sh *shard, why string) {
+	if terminalShard(sh.state) {
 		return
 	}
 	sh.state = "lost"
+	fs.retire = append(fs.retire, shardJournalID(fs.id, sh.seq))
+	if c.partnerCoversLocked(sh) {
+		c.opts.Logf("fleet: sweep %s: shard on %s dropped (%s), hedge twin covers it",
+			fs.id, sh.worker, why)
+		return
+	}
+	fs.pending = append(fs.pending, sh.specs...)
+	c.shardsReassigned++
+	c.opts.Logf("fleet: sweep %s: shard on %s requeued (%s)", fs.id, sh.worker, why)
+}
+
+// loseShardLocked marks a shard's worker lost and queues the shard's
+// specs for reassignment; c.mu held. Specs the worker already finished
+// re-resolve as store hits, so requeueing the whole shard is safe. A
+// shard whose hedge twin is still in flight (or done) is not requeued —
+// the twin carries the same specs.
+func (c *Coordinator) loseShardLocked(fs *fleetSweep, sh *shard) {
+	if terminalShard(sh.state) {
+		return
+	}
+	sh.state = "lost"
+	fs.retire = append(fs.retire, shardJournalID(fs.id, sh.seq))
 	if w, ok := c.workers[sh.worker]; ok && !w.lost {
 		w.lost = true
+	}
+	if c.partnerCoversLocked(sh) {
+		c.opts.Logf("fleet: sweep %s: shard on %s lost, hedge twin covers it",
+			fs.id, sh.worker)
+		return
 	}
 	fs.pending = append(fs.pending, sh.specs...)
 	c.shardsReassigned++
@@ -396,12 +757,25 @@ func (c *Coordinator) loseShardLocked(fs *fleetSweep, sh *shard) {
 		fs.id, sh.worker, len(sh.specs))
 }
 
-// run drives one sweep: poll shard progress, detect losses, reassign,
-// finish when every spec is covered by a completed shard.
+// partnerCoversLocked reports whether a shard's hedge twin still covers
+// the same specs (in flight or finished); c.mu held.
+func (c *Coordinator) partnerCoversLocked(sh *shard) bool {
+	p := sh.partner
+	return p != nil && (p.state == "dispatching" || p.state == "running" || p.state == "done")
+}
+
+// run drives one sweep: poll shard progress, detect losses, hedge
+// stragglers, reassign, finish when every spec is covered by a
+// completed shard (or was resolved from the store at recovery).
 func (c *Coordinator) run(fs *fleetSweep) {
-	defer close(fs.done)
 	for {
-		time.Sleep(c.opts.PollInterval)
+		select {
+		case <-c.closed:
+			// Coordinator shutdown: leave the sweep un-done. Its journal
+			// entry survives, so the next incarnation's Recover resumes it.
+			return
+		case <-time.After(c.opts.PollInterval):
+		}
 
 		c.mu.Lock()
 		c.markLostLocked()
@@ -422,22 +796,29 @@ func (c *Coordinator) run(fs *fleetSweep) {
 			}
 		}
 		c.mu.Unlock()
+		c.drainRetire(fs)
 
 		for _, sh := range toPoll {
 			c.poll(fs, sh)
 		}
+		c.drainRetire(fs)
+
+		c.hedgePass(fs)
+
 		if err := c.assignPending(fs); err != nil {
 			c.mu.Lock()
 			fs.state, fs.errMsg = "failed", err.Error()
 			fs.ended = time.Now()
 			c.mu.Unlock()
+			close(fs.done)
+			c.journalDone(sweepJournalID(fs.id))
 			return
 		}
 
 		c.mu.Lock()
-		finished := len(fs.pending) == 0 && len(fs.shards) > 0
+		finished := len(fs.pending) == 0 && (len(fs.shards) > 0 || fs.recoveredDone == len(fs.specs))
 		for _, sh := range fs.shards {
-			if sh.state != "done" && sh.state != "lost" {
+			if !terminalShard(sh.state) {
 				finished = false
 				break
 			}
@@ -446,20 +827,117 @@ func (c *Coordinator) run(fs *fleetSweep) {
 			fs.state = "done"
 			fs.ended = time.Now()
 			c.mu.Unlock()
-			c.opts.Logf("fleet: sweep %s done (%d shards, %d reassigned)",
-				fs.id, len(fs.shards), c.shardsReassigned)
+			c.opts.Logf("fleet: sweep %s done (%d shards, %d reassigned, %d hedged)",
+				fs.id, len(fs.shards), c.shardsReassigned, c.hedges)
+			close(fs.done)
+			c.journalDone(sweepJournalID(fs.id))
 			return
 		}
 		c.mu.Unlock()
 	}
 }
 
-// poll refreshes one running shard from its worker.
+// hedgePass speculatively re-dispatches stragglers: a running shard
+// whose age exceeds max(HedgeMinDelay, HedgeFactor × est) gets a twin
+// on the fastest idle live worker. Duplicates are safe — results are
+// content-addressed and store writes idempotent — so the race has no
+// wrong outcome; first completion wins and the loser is cancelled.
+func (c *Coordinator) hedgePass(fs *fleetSweep) {
+	if c.opts.HedgeFactor < 0 {
+		return
+	}
+	var twins []*shard
+	c.mu.Lock()
+	caps, urls := c.liveLocked()
+	busy := c.busyWorkersLocked()
+	for _, sh := range fs.shards {
+		if sh.state != "running" || sh.hedge || sh.partner != nil {
+			continue
+		}
+		deadline := time.Duration(c.opts.HedgeFactor * float64(sh.est))
+		if deadline < c.opts.HedgeMinDelay {
+			deadline = c.opts.HedgeMinDelay
+		}
+		if time.Since(sh.dispatched) <= deadline {
+			continue
+		}
+		// Fastest idle worker that isn't the straggler itself; ties break
+		// on name so the choice is deterministic.
+		best := -1
+		for i, cap := range caps {
+			if cap.Name == sh.worker || busy[cap.Name] {
+				continue
+			}
+			if best < 0 || cap.Speed() > caps[best].Speed() ||
+				(cap.Speed() == caps[best].Speed() && cap.Name < caps[best].Name) {
+				best = i
+			}
+		}
+		if best < 0 {
+			continue // nobody idle; keep waiting
+		}
+		fs.shardSeq++
+		twin := &shard{
+			seq:        fs.shardSeq,
+			worker:     caps[best].Name,
+			url:        urls[caps[best].Name],
+			specs:      sh.specs,
+			state:      "dispatching",
+			dispatched: time.Now(),
+			est:        estimateShardDuration(sh.specs, caps[best]),
+			hedge:      true,
+			partner:    sh,
+		}
+		sh.partner = twin
+		fs.shards = append(fs.shards, twin)
+		busy[twin.worker] = true
+		c.shardsDispatched++
+		c.hedges++
+		c.opts.Logf("fleet: sweep %s: shard on %s is a straggler (%.1fs past deadline), hedging to %s",
+			fs.id, sh.worker, time.Since(sh.dispatched).Seconds()-deadline.Seconds(), twin.worker)
+		twins = append(twins, twin)
+	}
+	c.mu.Unlock()
+
+	for _, twin := range twins {
+		if err := c.journalAccept(shardJournalID(fs.id, twin.seq),
+			shardRecord{Sweep: fs.id, Worker: twin.worker, Specs: len(twin.specs), Hedge: true}); err != nil {
+			c.opts.Logf("fleet: journaling hedge shard %s/%d: %v", fs.id, twin.seq, err)
+		}
+		c.dispatch(fs, twin)
+	}
+	c.drainRetire(fs)
+}
+
+// busyWorkersLocked is the set of workers with a shard in flight in any
+// sweep; c.mu held.
+func (c *Coordinator) busyWorkersLocked() map[string]bool {
+	busy := make(map[string]bool)
+	for _, fs := range c.sweeps {
+		for _, sh := range fs.shards {
+			if sh.state == "dispatching" || sh.state == "running" {
+				busy[sh.worker] = true
+			}
+		}
+	}
+	return busy
+}
+
+// poll refreshes one running shard from its worker. The first of a
+// hedged pair to reach done wins; the loser is cancelled locally and,
+// best-effort, on its worker.
 func (c *Coordinator) poll(fs *fleetSweep, sh *shard) {
 	var st sweep.Status
 	err := c.getJSON(fmt.Sprintf("%s/v1/sweeps/%s", sh.url, sh.remoteID), &st)
+	type cancelTarget struct{ url, remoteID string }
+	var loserCancel *cancelTarget
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if sh.state != "running" {
+		// Resolved (cancelled by the hedge race, lost, …) while the poll
+		// was in flight; nothing to record.
+		c.mu.Unlock()
+		return
+	}
 	if err != nil {
 		sh.pollFails++
 		if sh.pollFails >= c.opts.PollFailures {
@@ -467,14 +945,52 @@ func (c *Coordinator) poll(fs *fleetSweep, sh *shard) {
 				fs.id, sh.pollFails, sh.worker, err)
 			c.loseShardLocked(fs, sh)
 		}
+		c.mu.Unlock()
+		c.drainRetire(fs)
 		return
 	}
 	sh.pollFails = 0
 	sh.completed = st.Completed
 	sh.failed = st.Failed
-	if st.State == "done" && sh.state == "running" {
+	if st.State == "done" {
 		sh.state = "done"
+		fs.retire = append(fs.retire, shardJournalID(fs.id, sh.seq))
+		if p := sh.partner; p != nil && !terminalShard(p.state) {
+			p.state = "cancelled"
+			fs.retire = append(fs.retire, shardJournalID(fs.id, p.seq))
+			if p.remoteID != "" {
+				loserCancel = &cancelTarget{url: p.url, remoteID: p.remoteID}
+			}
+			c.opts.Logf("fleet: sweep %s: shard on %s finished first, cancelling twin on %s",
+				fs.id, sh.worker, p.worker)
+		}
 	}
+	c.mu.Unlock()
+	c.drainRetire(fs)
+	if loserCancel != nil {
+		go c.cancelRemote(loserCancel.url, loserCancel.remoteID)
+	}
+}
+
+// cancelRemote asks a worker to abandon a sweep (DELETE /v1/sweeps/{id});
+// best-effort — an unreachable worker just finishes redundant work whose
+// content-addressed results are identical anyway.
+func (c *Coordinator) cancelRemote(url, remoteID string) {
+	if remoteID == "" {
+		return
+	}
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodDelete,
+		fmt.Sprintf("%s/v1/sweeps/%s", url, remoteID), nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		c.opts.Logf("fleet: cancelling remote sweep %s: %v", remoteID, err)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
 }
 
 // Status snapshots a fleet sweep by ID.
@@ -522,6 +1038,8 @@ func (c *Coordinator) snapshotLocked(fs *fleetSweep) SweepStatus {
 		State:      fs.state,
 		Error:      fs.errMsg,
 		Total:      len(fs.specs),
+		Recovered:  fs.recoveredDone,
+		Completed:  fs.recoveredDone,
 		StartedAt:  fs.started,
 		FinishedAt: fs.ended,
 	}
@@ -533,10 +1051,18 @@ func (c *Coordinator) snapshotLocked(fs *fleetSweep) SweepStatus {
 			State:     sh.state,
 			Completed: sh.completed,
 			Failed:    sh.failed,
+			Hedge:     sh.hedge,
 		})
-		if sh.state == "lost" {
+		switch sh.state {
+		case "lost":
 			out.Reassigned++
 			continue
+		case "cancelled":
+			// The twin's numbers already count; the loser's would double.
+			continue
+		}
+		if sh.hedge && sh.partner != nil && sh.partner.state == "done" {
+			continue // primary won; don't double-count the twin's progress
 		}
 		out.Completed += sh.completed
 		out.Failed += sh.failed
@@ -544,24 +1070,38 @@ func (c *Coordinator) snapshotLocked(fs *fleetSweep) SweepStatus {
 	return out
 }
 
-// postJSON posts v as JSON and decodes the response into out.
+// postJSON posts v as JSON and decodes the response into out. Transport
+// errors and 5xx/429 answers come back marked transient so the dispatch
+// retry loop re-executes them; other HTTP errors are firm.
 func (c *Coordinator) postJSON(url string, v, out any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	resp, err := c.opts.Client.Post(url, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return resilience.ClassifyNetErr(err)
 	}
 	defer func() {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
 	}()
 	if resp.StatusCode >= 300 {
-		return fmt.Errorf("fleet: %s returned %s", url, resp.Status)
+		err := fmt.Errorf("fleet: %s returned %s", url, resp.Status)
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return resilience.MarkTransient(err)
+		}
+		return err
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return resilience.ClassifyNetErr(err)
+	}
+	return nil
 }
 
 // getJSON fetches url and decodes the response into out.

@@ -21,6 +21,19 @@
 // Reassignment therefore never double-counts and never diverges — the
 // fleet integration test asserts a kill-mid-sweep run is bit-identical
 // to a single-daemon run.
+//
+// The coordinator itself is also a fault domain. With a journal
+// configured, sweep submissions are written ahead (CRC-framed, fsynced)
+// before any dispatch, so a coordinator killed mid-sweep and restarted
+// reconciles on Recover: journaled specs whose results already sit in
+// the store count as completed, the remainder re-pack across workers as
+// they re-register, and the sweep finishes bit-identical to an
+// uninterrupted run. Dispatch and blob traffic retry transient network
+// failures under a deterministic-jitter backoff, per-worker circuit
+// breakers keep a flapping worker from absorbing dispatches, and
+// straggler shards are hedged — speculatively re-dispatched to an idle
+// worker, first completion wins — because duplicated work is harmless
+// when every artifact is content-addressed and idempotent to write.
 package fleet
 
 import (
@@ -70,6 +83,9 @@ type WorkerView struct {
 	Lost        bool      `json:"lost,omitempty"`
 	QueueDepth  int       `json:"queue_depth"`
 	BusyWorkers int       `json:"busy_workers"`
+	// Breaker is the worker's dispatch circuit-breaker state ("closed",
+	// "half-open", "open"); empty until the first dispatch touches it.
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // ShardStatus is the live view of one dispatched shard.
@@ -80,12 +96,14 @@ type ShardStatus struct {
 	RemoteID string `json:"remote_id,omitempty"`
 	// Specs is the shard's spec count.
 	Specs int `json:"specs"`
-	// State is "dispatching", "running", "done" or "lost" (lost shards
-	// have been re-packed into later shards).
+	// State is "dispatching", "running", "done", "lost" (re-packed into
+	// later shards) or "cancelled" (lost the hedge race to its twin).
 	State string `json:"state"`
 	// Completed and Failed mirror the worker's sweep progress.
 	Completed int `json:"completed"`
 	Failed    int `json:"failed"`
+	// Hedge marks a speculative twin dispatched against a straggler.
+	Hedge bool `json:"hedge,omitempty"`
 }
 
 // SweepStatus is a point-in-time snapshot of one fleet sweep.
@@ -103,6 +121,9 @@ type SweepStatus struct {
 
 	// Reassigned counts shards re-packed after a worker loss.
 	Reassigned int `json:"reassigned"`
+	// Recovered counts specs a coordinator restart resolved directly from
+	// the store (work finished before the crash); included in Completed.
+	Recovered int `json:"recovered,omitempty"`
 
 	Shards []ShardStatus `json:"shards"`
 
@@ -117,6 +138,9 @@ type Gauges struct {
 	WorkersLost       int
 	SweepsStarted     int
 	SweepsRunning     int
+	SweepsRecovered   int
 	ShardsDispatched  int
 	ShardsReassigned  int
+	Hedges            int
+	BreakersOpen      int
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"airshed/internal/resilience"
 	"airshed/internal/scenario"
 	"airshed/internal/sched"
 	"airshed/internal/store"
@@ -31,6 +32,9 @@ func startTestWorker(t *testing.T, name, coordURL string) *testWorker {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Short cooldown so a coordinator outage doesn't park the worker's
+	// store breaker for the default 10s after recovery.
+	st.SetBreaker(resilience.NewBreaker(5, time.Second))
 	sc := sched.New(sched.Options{
 		Workers:    2,
 		QueueDepth: 64,
@@ -60,6 +64,13 @@ func startTestWorker(t *testing.T, name, coordURL string) *testWorker {
 		}
 		fleetJSON(w, http.StatusOK, st)
 	})
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := engine.Cancel(r.PathValue("id")); err != nil {
+			fleetError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
 	srv := httptest.NewServer(mux)
 
 	agent, err := StartAgent(AgentOptions{
@@ -71,6 +82,7 @@ func startTestWorker(t *testing.T, name, coordURL string) *testWorker {
 		Workers:     2,
 		Version:     "test",
 		Interval:    100 * time.Millisecond,
+		MaxBackoff:  500 * time.Millisecond,
 		Scheduler:   sc,
 		Store:       st,
 	})

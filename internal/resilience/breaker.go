@@ -130,6 +130,24 @@ func (b *Breaker) State() BreakerState {
 	return b.state
 }
 
+// Ready reports whether an operation would currently be admitted,
+// without transitioning state or consuming the half-open probe slot the
+// way Allow does. Placement logic (the fleet packer skipping sick
+// workers) wants this read-only view: an open breaker whose cooldown has
+// elapsed is ready — the next real dispatch becomes the probe.
+func (b *Breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		return b.now().Sub(b.openedAt) >= b.cooldown
+	case BreakerHalfOpen:
+		return !b.probing
+	default:
+		return true
+	}
+}
+
 // Trips counts closed/half-open -> open transitions since creation.
 func (b *Breaker) Trips() uint64 {
 	b.mu.Lock()

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"syscall"
 	"time"
 )
 
@@ -52,6 +55,52 @@ func MarkPermanent(err error) error {
 // own retry semantics through wrapping).
 type transienter interface {
 	Transient() bool
+}
+
+// netTimeoutError wraps a transport-level timeout as transient with the
+// underlying chain deliberately severed (no Unwrap): Go's HTTP client
+// reports its own per-request timeout via context.DeadlineExceeded,
+// which rule 1 would otherwise read as the caller's context dying and
+// refuse to retry. A genuinely dead caller context still stops the
+// retry loop — SleepCtx aborts the backoff wait.
+type netTimeoutError struct{ err error }
+
+func (e *netTimeoutError) Error() string   { return e.err.Error() }
+func (e *netTimeoutError) Transient() bool { return true }
+func (e *netTimeoutError) Timeout() bool   { return true }
+
+// ClassifyNetErr marks err transient when it looks like a recoverable
+// network-transport failure — a timeout, a connection reset, refused or
+// torn mid-response — and returns it unchanged otherwise. Errors that
+// already classify themselves (a Transient() method anywhere in the
+// chain, including an earlier Mark*) are left alone: the explicit mark
+// wins. It is the classification rule the fleet's HTTP edges (shard
+// dispatch, the blob backend, agent heartbeats) share: the peer being
+// momentarily unreachable must cost a retry, never correctness.
+func ClassifyNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var t transienter
+	if errors.As(err, &t) {
+		return err
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return &netTimeoutError{err: err}
+	}
+	switch {
+	case errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNABORTED),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.EOF):
+		// io.EOF from an HTTP round trip is the server closing the
+		// connection mid-exchange — the retryable shape of a restart.
+		return MarkTransient(err)
+	}
+	return err
 }
 
 // IsTransient reports whether err should be retried.

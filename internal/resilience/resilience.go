@@ -62,11 +62,22 @@ const (
 	// async output stage (once per written hour): a fault is the output
 	// slot losing a snapshot write.
 	PointPipeWrite = "pipe.write"
+	// PointFleetDispatch fires per coordinator->worker shard dispatch
+	// attempt: a fault is the dispatch POST lost on the wire.
+	PointFleetDispatch = "fleet.dispatch"
+	// PointFleetBlobGet fires per HTTP blob-backend read attempt (a
+	// fleet worker fetching an artifact from the coordinator's store).
+	PointFleetBlobGet = "fleet.blob.get"
+	// PointFleetBlobPut fires per HTTP blob-backend write attempt.
+	PointFleetBlobPut = "fleet.blob.put"
+	// PointFleetHeartbeat fires per agent heartbeat: a fault is the
+	// heartbeat dropped before it reaches the coordinator.
+	PointFleetHeartbeat = "fleet.heartbeat"
 )
 
 // Points lists the canonical injection points.
 func Points() []string {
-	return []string{PointStoreRead, PointStoreWrite, PointHourRead, PointHourWrite, PointSchedExec, PointFxChunk, PointPipePrefetch, PointPipeWrite}
+	return []string{PointStoreRead, PointStoreWrite, PointHourRead, PointHourWrite, PointSchedExec, PointFxChunk, PointPipePrefetch, PointPipeWrite, PointFleetDispatch, PointFleetBlobGet, PointFleetBlobPut, PointFleetHeartbeat}
 }
 
 // InjectedError is the error an injection point fires. It is transient

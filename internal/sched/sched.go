@@ -205,6 +205,9 @@ type Counters struct {
 	StoreHits      uint64
 	WarmStarts     uint64
 	PhysicsReplays uint64
+	// Repersisted counts results whose original store write failed and
+	// that a later cache hit successfully wrote back.
+	Repersisted uint64
 
 	// Resilience outcomes: Retries counts re-executions after a
 	// transient failure; Panics counts sim-worker panics contained
@@ -217,6 +220,10 @@ type Counters struct {
 	BusyWorkers  int
 	CacheEntries int
 	CacheBytes   int64
+	// Unpersisted is the number of completed results currently living
+	// only in the cache (their store write failed and no cache hit has
+	// re-persisted them yet).
+	Unpersisted int
 
 	// EstimatedWaitSeconds is the admission-control estimate: how long a
 	// job enqueued now would wait before a worker picks it up, from the
@@ -334,6 +341,13 @@ type Scheduler struct {
 	seq      uint64
 	closed   bool
 
+	// unpersisted remembers completed results whose store write failed:
+	// they exist only in the LRU cache, so without this a later cache
+	// hit would serve them forever while the store — the thing a fleet
+	// coordinator reconciles against after a crash — never learns them.
+	// A cache hit on a remembered hash re-issues the write.
+	unpersisted map[string]struct{}
+
 	// Admission-control accounting (guarded by mu): perfmodel cost of
 	// queued and running work, and the completed-execution totals that
 	// calibrate cost units to wall seconds.
@@ -353,13 +367,14 @@ func New(opts Options) *Scheduler {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
-		opts:     opts,
-		jobs:     make(map[string]*job),
-		inflight: make(map[string]*job),
-		cache:    newResultCache(opts.CacheEntries, opts.CacheBytes),
-		queue:    make(chan *job, opts.QueueDepth),
-		baseCtx:  ctx,
-		stopAll:  cancel,
+		opts:        opts,
+		jobs:        make(map[string]*job),
+		inflight:    make(map[string]*job),
+		cache:       newResultCache(opts.CacheEntries, opts.CacheBytes),
+		unpersisted: make(map[string]struct{}),
+		queue:       make(chan *job, opts.QueueDepth),
+		baseCtx:     ctx,
+		stopAll:     cancel,
 	}
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -389,6 +404,7 @@ func (s *Scheduler) Submit(spec scenario.Spec) (JobStatus, error) {
 	// Cache hit: issue an already-finished job sharing the cached result.
 	if res, ok := s.cache.get(hash); ok {
 		s.counters.CacheHits++
+		s.repersistLocked(hash, res)
 		j := s.newJobLocked(spec, hash)
 		j.state = Done
 		j.cached = true
@@ -418,6 +434,7 @@ func (s *Scheduler) Submit(spec scenario.Spec) (JobStatus, error) {
 		}
 		if res, ok := s.cache.get(hash); ok {
 			s.counters.CacheHits++
+			s.repersistLocked(hash, res)
 			j := s.newJobLocked(spec, hash)
 			j.state = Done
 			j.cached = true
@@ -710,6 +727,31 @@ func (s *Scheduler) Persistent() bool { return s.opts.Store != nil }
 // and persist their own artifact kinds next to the run results.
 func (s *Scheduler) Store() *store.Store { return s.opts.Store }
 
+// repersistLocked re-issues the failed store write of a cached result
+// (s.mu held; the write itself runs off-lock). The hash is removed from
+// the unpersisted set before the attempt so concurrent cache hits don't
+// pile up duplicate writers, and put back if the store fails again.
+func (s *Scheduler) repersistLocked(hash string, res *core.Result) {
+	if s.opts.Store == nil {
+		return
+	}
+	if _, ok := s.unpersisted[hash]; !ok {
+		return
+	}
+	delete(s.unpersisted, hash)
+	go func() {
+		if err := s.opts.Store.PutResult(hash, res); err != nil {
+			s.mu.Lock()
+			s.unpersisted[hash] = struct{}{}
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Lock()
+		s.counters.Repersisted++
+		s.mu.Unlock()
+	}()
+}
+
 // Counters snapshots the metrics.
 func (s *Scheduler) Counters() Counters {
 	s.mu.Lock()
@@ -719,6 +761,7 @@ func (s *Scheduler) Counters() Counters {
 	c.Evictions = s.cache.evictions
 	c.CacheEntries = s.cache.len()
 	c.CacheBytes = s.cache.bytes
+	c.Unpersisted = len(s.unpersisted)
 	c.EstimatedWaitSeconds = s.estimatedWaitLocked().Seconds()
 	return c
 }
@@ -815,9 +858,17 @@ func (s *Scheduler) runJob(j *job) {
 		}
 	}
 	if err == nil && s.opts.Store != nil {
-		// Persist outside the scheduler lock; failures only cost future
-		// restarts their head start.
-		_ = s.opts.Store.PutResult(j.hash, res)
+		// Persist outside the scheduler lock; a failure costs future
+		// restarts their head start, so remember the hash — the next
+		// cache hit re-issues the write (see repersistLocked).
+		perr := s.opts.Store.PutResult(j.hash, res)
+		s.mu.Lock()
+		if perr != nil {
+			s.unpersisted[j.hash] = struct{}{}
+		} else {
+			delete(s.unpersisted, j.hash)
+		}
+		s.mu.Unlock()
 	}
 
 	s.mu.Lock()

@@ -1,11 +1,15 @@
 package sched
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"airshed/internal/scenario"
 	"airshed/internal/store"
@@ -228,5 +232,69 @@ func TestCorruptCheckpointFallsBackToColdRun(t *testing.T) {
 	assertEquivalent(t, "fallback", job, cold)
 	if c := st.Counters(); c.Corrupt == 0 {
 		t.Errorf("corruption not booked: %+v", c)
+	}
+}
+
+// failResultsBackend wraps a MemBackend, failing result writes while
+// armed — the shape of a store outage that outlives a job's completion.
+type failResultsBackend struct {
+	*store.MemBackend
+	armed atomic.Bool
+}
+
+func (b *failResultsBackend) Put(key string, data []byte) error {
+	if b.armed.Load() && strings.HasPrefix(key, "results/") {
+		return errors.New("backend: simulated result-write failure")
+	}
+	return b.MemBackend.Put(key, data)
+}
+
+// TestCacheHitRepersistsFailedStoreWrite pins the recovery guarantee the
+// fleet journal depends on: a result whose store write failed lives only
+// in the LRU cache, and the next cache hit writes it back — so every
+// completed result eventually reaches the store once it heals.
+func TestCacheHitRepersistsFailedStoreWrite(t *testing.T) {
+	backend := &failResultsBackend{MemBackend: store.NewMemBackend()}
+	st, err := store.OpenBackend(backend, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Workers: 1, GoParallel: true, Store: st})
+	defer shutdown(t, s)
+
+	spec := miniSpec()
+	hash := spec.Normalize().Hash()
+
+	backend.armed.Store(true)
+	first := awaitDone(t, s, mustSubmit(t, s, spec).ID)
+	if _, ok := st.GetResult(hash); ok {
+		t.Fatal("result persisted despite armed write failure")
+	}
+	if c := s.Counters(); c.Unpersisted != 1 {
+		t.Fatalf("Unpersisted = %d, want 1", c.Unpersisted)
+	}
+
+	// Store heals; a cache hit re-issues the write.
+	backend.armed.Store(false)
+	second := awaitDone(t, s, mustSubmit(t, s, spec).ID)
+	if !second.Cached {
+		t.Fatal("second submission was not a cache hit")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if c := s.Counters(); c.Repersisted == 1 && c.Unpersisted == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("re-persist never completed: %+v", s.Counters())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stored, ok := st.GetResult(hash)
+	if !ok {
+		t.Fatal("re-persisted result not in store")
+	}
+	if !reflect.DeepEqual(stored.Final, first.Result.Final) {
+		t.Error("re-persisted result differs from the computed one")
 	}
 }

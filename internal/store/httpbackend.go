@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"airshed/internal/resilience"
 )
 
 // HTTPBackend is the remote blob backend of fleet mode: a client for the
@@ -18,14 +21,24 @@ import (
 // owns eviction), so a blob another worker stored a millisecond ago is
 // immediately visible here.
 //
+// Network faults cost latency, never correctness: every get/put attempt
+// fires the fleet.blob.* injection points and transient failures —
+// transport errors classified by resilience.ClassifyNetErr (connection
+// reset/refused, timeouts, torn responses), 5xx answers, injected
+// faults — are retried under a capped exponential backoff with
+// deterministic per-key jitter. Retrying a Put is safe because blobs
+// are content-addressed: both writers carry identical bytes.
+//
 // Error mapping follows the Backend contract: HTTP 404 becomes
-// fs.ErrNotExist (a benign miss the breaker ignores), anything else —
-// transport failures, 5xx — surfaces as a real I/O error and counts
-// against the Store's circuit breaker, so a worker whose coordinator
-// vanishes degrades to compute-only instead of stalling on every lookup.
+// fs.ErrNotExist (a benign miss the breaker ignores, returned without
+// retrying — absence is an answer, not a fault), anything that outlives
+// the retries surfaces as a real I/O error and counts against the
+// Store's circuit breaker, so a worker whose coordinator vanishes
+// degrades to compute-only instead of stalling on every lookup.
 type HTTPBackend struct {
 	base   string
 	client *http.Client
+	retry  resilience.RetryPolicy
 }
 
 // NewHTTPBackend creates a backend talking to the coordinator at base
@@ -35,8 +48,17 @@ func NewHTTPBackend(base string, client *http.Client) *HTTPBackend {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &HTTPBackend{base: strings.TrimRight(base, "/"), client: client}
+	return &HTTPBackend{
+		base:   strings.TrimRight(base, "/"),
+		client: client,
+		retry:  resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5},
+	}
 }
+
+// SetRetry replaces the backend's transient-failure retry policy (e.g.
+// a fault seed for reproducible chaos schedules, or MaxAttempts 1 to
+// disable retries). Call before concurrent use.
+func (b *HTTPBackend) SetRetry(p resilience.RetryPolicy) { b.retry = p.WithDefaults() }
 
 // Shared implements Backend: the coordinator's store is multi-writer.
 func (b *HTTPBackend) Shared() bool { return true }
@@ -47,6 +69,16 @@ func (b *HTTPBackend) url(key string) string {
 
 // Put implements Backend.
 func (b *HTTPBackend) Put(key string, data []byte) error {
+	_, err := resilience.Retry(context.Background(), b.retry, resilience.HashKey("put:"+key), func() error {
+		return b.putOnce(key, data)
+	})
+	return err
+}
+
+func (b *HTTPBackend) putOnce(key string, data []byte) error {
+	if err := resilience.Fire(resilience.PointFleetBlobPut); err != nil {
+		return fmt.Errorf("store: putting %s: %w", key, err)
+	}
 	req, err := http.NewRequest(http.MethodPut, b.url(key), bytes.NewReader(data))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -54,31 +86,46 @@ func (b *HTTPBackend) Put(key string, data []byte) error {
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := b.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("store: putting %s: %w", key, err)
+		return resilience.ClassifyNetErr(fmt.Errorf("store: putting %s: %w", key, err))
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
-		return fmt.Errorf("store: putting %s: coordinator returned %s", key, resp.Status)
+		return classifyStatus(resp.StatusCode, fmt.Errorf("store: putting %s: coordinator returned %s", key, resp.Status))
 	}
 	return nil
 }
 
 // Get implements Backend.
 func (b *HTTPBackend) Get(key string) ([]byte, error) {
+	var data []byte
+	_, err := resilience.Retry(context.Background(), b.retry, resilience.HashKey("get:"+key), func() error {
+		var aerr error
+		data, aerr = b.getOnce(key)
+		return aerr
+	})
+	return data, err
+}
+
+func (b *HTTPBackend) getOnce(key string) ([]byte, error) {
+	if err := resilience.Fire(resilience.PointFleetBlobGet); err != nil {
+		return nil, fmt.Errorf("store: getting %s: %w", key, err)
+	}
 	resp, err := b.client.Get(b.url(key))
 	if err != nil {
-		return nil, fmt.Errorf("store: getting %s: %w", key, err)
+		return nil, resilience.ClassifyNetErr(fmt.Errorf("store: getting %s: %w", key, err))
 	}
 	defer drain(resp)
 	if resp.StatusCode == http.StatusNotFound {
+		// A firm answer, not a fault: returned as-is (permanent, so the
+		// retry loop stops) and never scored against the breaker above.
 		return nil, fmt.Errorf("store: %s: %w", key, fs.ErrNotExist)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("store: getting %s: coordinator returned %s", key, resp.Status)
+		return nil, classifyStatus(resp.StatusCode, fmt.Errorf("store: getting %s: coordinator returned %s", key, resp.Status))
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPayload))
 	if err != nil {
-		return nil, fmt.Errorf("store: getting %s: %w", key, err)
+		return nil, resilience.ClassifyNetErr(fmt.Errorf("store: getting %s: %w", key, err))
 	}
 	return data, nil
 }
@@ -91,7 +138,7 @@ func (b *HTTPBackend) Delete(key string) error {
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("store: deleting %s: %w", key, err)
+		return resilience.ClassifyNetErr(fmt.Errorf("store: deleting %s: %w", key, err))
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
@@ -104,7 +151,7 @@ func (b *HTTPBackend) Delete(key string) error {
 func (b *HTTPBackend) List() ([]BlobInfo, error) {
 	resp, err := b.client.Get(b.base + "/v1/fleet/blobs")
 	if err != nil {
-		return nil, fmt.Errorf("store: listing blobs: %w", err)
+		return nil, resilience.ClassifyNetErr(fmt.Errorf("store: listing blobs: %w", err))
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
@@ -115,6 +162,16 @@ func (b *HTTPBackend) List() ([]BlobInfo, error) {
 		return nil, fmt.Errorf("store: listing blobs: %w", err)
 	}
 	return out, nil
+}
+
+// classifyStatus marks server-side failure codes transient: a 5xx or
+// 429 is the coordinator mid-restart or shedding load, exactly what a
+// backed-off retry cures; 4xx answers are firm and stay permanent.
+func classifyStatus(code int, err error) error {
+	if code >= 500 || code == http.StatusTooManyRequests {
+		return resilience.MarkTransient(err)
+	}
+	return err
 }
 
 // drain consumes and closes a response body so the connection is reused.

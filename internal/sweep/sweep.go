@@ -248,7 +248,7 @@ type JobView struct {
 type Status struct {
 	ID    string `json:"id"`
 	Name  string `json:"name,omitempty"`
-	State string `json:"state"` // "running" or "done"
+	State string `json:"state"` // "running", "done" or "cancelled"
 	Total int    `json:"total"`
 	Seeds int    `json:"seeds"`
 
@@ -278,15 +278,22 @@ type sweepState struct {
 	specs []scenario.Spec
 	seeds []scenario.Spec
 
-	mu       sync.Mutex
-	jobIDs   []string // parallel to specs; "" until submitted
-	jobErrs  []string // submission errors, parallel to specs
-	started  time.Time
-	finished time.Time
-	table    []PolicyRow
-	tableErr string
+	mu        sync.Mutex
+	jobIDs    []string // parallel to specs; "" until submitted
+	jobErrs   []string // submission errors, parallel to specs
+	cancelled bool
+	started   time.Time
+	finished  time.Time
+	table     []PolicyRow
+	tableErr  string
 
 	done chan struct{}
+}
+
+func (st *sweepState) isCancelled() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.cancelled
 }
 
 // Engine expands and drives sweeps over a scheduler. Create with
@@ -394,9 +401,9 @@ func (e *Engine) run(st *sweepState) {
 	// failures are not sweep failures — the jobs just run colder.
 	var seedIDs []string
 	for _, seed := range st.seeds {
-		if js, err := e.submit(seed); err == nil {
+		if js, err := e.submit(st, seed); err == nil {
 			seedIDs = append(seedIDs, js.ID)
-		} else if errors.Is(err, sched.ErrShuttingDown) {
+		} else if errors.Is(err, sched.ErrShuttingDown) || errors.Is(err, errSweepCancelled) {
 			break
 		}
 	}
@@ -406,7 +413,7 @@ func (e *Engine) run(st *sweepState) {
 
 	// Job pass.
 	for i, spec := range st.specs {
-		js, err := e.submit(spec)
+		js, err := e.submit(st, spec)
 		st.mu.Lock()
 		if err != nil {
 			st.jobErrs[i] = err.Error()
@@ -414,8 +421,13 @@ func (e *Engine) run(st *sweepState) {
 			st.jobIDs[i] = js.ID
 		}
 		st.mu.Unlock()
-		if errors.Is(err, sched.ErrShuttingDown) {
+		if errors.Is(err, sched.ErrShuttingDown) || errors.Is(err, errSweepCancelled) {
 			break
+		}
+		if err == nil && st.isCancelled() {
+			// Cancel raced this submission: its jobID snapshot predates the
+			// job, so sweep it up here.
+			e.sched.Cancel(js.ID) //nolint:errcheck // already-terminal is fine
 		}
 	}
 	for _, id := range st.jobIDs {
@@ -433,17 +445,49 @@ func (e *Engine) run(st *sweepState) {
 	st.mu.Unlock()
 }
 
+// errSweepCancelled aborts the run loop's submission passes.
+var errSweepCancelled = errors.New("sweep: cancelled")
+
 // submit pushes one spec into the scheduler, waiting out queue-full
 // backpressure (the sweep is a batch producer; blocking here is the
-// correct throttle).
-func (e *Engine) submit(spec scenario.Spec) (sched.JobStatus, error) {
+// correct throttle). A cancelled sweep stops submitting — including
+// mid-backpressure.
+func (e *Engine) submit(st *sweepState, spec scenario.Spec) (sched.JobStatus, error) {
 	for {
+		if st.isCancelled() {
+			return sched.JobStatus{}, errSweepCancelled
+		}
 		js, err := e.sched.Submit(spec)
 		if !errors.Is(err, sched.ErrQueueFull) {
 			return js, err
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+// Cancel aborts a running sweep: jobs not yet submitted stay that way,
+// and every submitted, still-live job is cancelled through the
+// scheduler. Jobs that already finished keep their results — results
+// are content-addressed, so a caller abandoning a sweep (e.g. a fleet
+// coordinator cancelling the losing copy of a hedged shard) loses
+// nothing already computed. Cancelling a finished sweep is a no-op.
+func (e *Engine) Cancel(id string) error {
+	e.mu.Lock()
+	st, ok := e.sweeps[id]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSweep, id)
+	}
+	st.mu.Lock()
+	st.cancelled = true
+	ids := append([]string(nil), st.jobIDs...)
+	st.mu.Unlock()
+	for _, jid := range ids {
+		if jid != "" {
+			e.sched.Cancel(jid) //nolint:errcheck // already-terminal is fine
+		}
+	}
+	return nil
 }
 
 // Status snapshots a sweep by ID.
@@ -492,6 +536,7 @@ func (e *Engine) snapshot(st *sweepState) Status {
 	st.mu.Lock()
 	ids := append([]string(nil), st.jobIDs...)
 	errs := append([]string(nil), st.jobErrs...)
+	cancelled := st.cancelled
 	out := Status{
 		ID:         st.id,
 		Name:       st.name,
@@ -507,6 +552,9 @@ func (e *Engine) snapshot(st *sweepState) Status {
 	select {
 	case <-st.done:
 		out.State = "done"
+		if cancelled {
+			out.State = "cancelled"
+		}
 	default:
 	}
 
