@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"airshed/internal/fleet"
+	"airshed/internal/integrity"
 	"airshed/internal/resilience"
 	"airshed/internal/scenario"
 	"airshed/internal/sched"
@@ -98,6 +99,16 @@ func run() error {
 		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 		journalPath  = flag.String("journal", "", "crash-recovery journal file (default <store>/journal.wal when -store is set; \"off\" disables)")
 		retries      = flag.Int("retries", 3, "attempts per job for transiently-failed runs (1 = no retries)")
+
+		// Integrity subsystem: background store scrubbing with quarantine
+		// + recompute repair, paranoid read verification, and
+		// deadline/watchdog enforcement on running jobs.
+		verifyReads    = flag.Bool("verify-reads", false, "re-verify checksums on every store read; rotten blobs quarantine instead of being served")
+		scrubInterval  = flag.Duration("scrub-interval", 5*time.Minute, "idle period between background store scrub passes (0 disables scrubbing; requires -store)")
+		scrubRateMB    = flag.Float64("scrub-rate-mb", 32, "scrub read pacing in MiB/s (0 = unpaced)")
+		maxRunSeconds  = flag.Float64("max-run-seconds", 0, "absolute per-job execution cap in seconds, clamping the cost-derived deadline (0 = none)")
+		deadlineFactor = flag.Float64("deadline-factor", 0, "per-job deadline as a multiple of its perfmodel wall estimate (0 disables)")
+		watchdogFactor = flag.Float64("watchdog-factor", 0, "cancel a job when no hour completes within this multiple of its per-hour estimate, with a stack-dump diagnostic (0 disables)")
 
 		showVersion = flag.Bool("version", false, "print version and exit")
 
@@ -170,6 +181,10 @@ func run() error {
 	if *fleetCoordinator && artifacts == nil {
 		return fmt.Errorf("-fleet-coordinator requires -store (workers share the coordinator's store)")
 	}
+	if artifacts != nil && *verifyReads {
+		artifacts.SetVerifyReads(true)
+		fmt.Println("airshedd: paranoid read verification enabled (-verify-reads)")
+	}
 
 	// Crash-recovery journal: accepted-but-unfinished jobs are WAL-logged
 	// next to the store and re-submitted after a crash or kill -9.
@@ -195,19 +210,42 @@ func run() error {
 	}
 
 	scheduler := sched.New(sched.Options{
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		CacheEntries:  *cacheEntries,
-		CacheBytes:    *cacheMB << 20,
-		JobTimeout:    *jobTimeout,
-		GoParallel:    true,
-		HostWorkers:   *hostWorkers,
-		PipelineDepth: *pipeline,
-		Store:         artifacts,
-		Retry:         resilience.RetryPolicy{MaxAttempts: *retries, Jitter: 0.5},
-		Journal:       journal,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheMB << 20,
+		JobTimeout:     *jobTimeout,
+		GoParallel:     true,
+		HostWorkers:    *hostWorkers,
+		PipelineDepth:  *pipeline,
+		Store:          artifacts,
+		Retry:          resilience.RetryPolicy{MaxAttempts: *retries, Jitter: 0.5},
+		Journal:        journal,
+		DeadlineFactor: *deadlineFactor,
+		MaxRun:         time.Duration(*maxRunSeconds * float64(time.Second)),
+		WatchdogFactor: *watchdogFactor,
 	})
 	replayJournal(journal, scheduler)
+
+	// Background store scrubber: re-verify artifacts at rest, quarantine
+	// failures, repair by recompute through the scheduler. Only the
+	// process that owns a directory store scrubs it — fleet workers read
+	// the coordinator's store, which the coordinator scrubs.
+	var scrubber *integrity.Scrubber
+	if *storeDir != "" && *scrubInterval > 0 {
+		scrubber = integrity.New(integrity.Options{
+			Store:           artifacts,
+			Interval:        *scrubInterval,
+			RateBytesPerSec: int64(*scrubRateMB * (1 << 20)),
+			Repair:          scheduler,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("airshedd: "+format+"\n", args...)
+			},
+		})
+		scrubber.Start()
+		defer scrubber.Close()
+		fmt.Printf("airshedd: store scrubber: every %s at %.0f MiB/s\n", *scrubInterval, *scrubRateMB)
+	}
 
 	var coordinator *fleet.Coordinator
 	var fleetJournal *resilience.Journal
@@ -263,7 +301,7 @@ func run() error {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(scheduler, artifacts, *pprofFlag, coordinator, role).withJournals(journal, fleetJournal).handler(),
+		Handler:           newServer(scheduler, artifacts, *pprofFlag, coordinator, role).withJournals(journal, fleetJournal).withScrubber(scrubber).handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,

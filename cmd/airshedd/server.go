@@ -14,6 +14,7 @@ import (
 	"airshed/internal/core"
 	"airshed/internal/fleet"
 	"airshed/internal/fx"
+	"airshed/internal/integrity"
 	"airshed/internal/machine"
 	"airshed/internal/perfmodel"
 	"airshed/internal/report"
@@ -70,6 +71,10 @@ type server struct {
 	schedJournal *resilience.Journal
 	fleetJournal *resilience.Journal
 
+	// scrub is the background store scrubber (nil when -store is unset
+	// or scrubbing disabled), for /healthz freshness and /metrics.
+	scrub *integrity.Scrubber
+
 	traceMu sync.Mutex
 	traces  map[string]*traceEntry
 }
@@ -99,6 +104,12 @@ func newServer(s *sched.Scheduler, st *store.Store, profile bool, coord *fleet.C
 func (s *server) withJournals(schedJ, fleetJ *resilience.Journal) *server {
 	s.schedJournal = schedJ
 	s.fleetJournal = fleetJ
+	return s
+}
+
+// withScrubber attaches the background store scrubber (may be nil).
+func (s *server) withScrubber(sc *integrity.Scrubber) *server {
+	s.scrub = sc
 	return s
 }
 
@@ -531,6 +542,12 @@ type healthResponse struct {
 	// the same figure a 429's Retry-After is cut from.
 	QueueDepth           int     `json:"queue_depth"`
 	EstimatedWaitSeconds float64 `json:"estimated_wait_seconds"`
+
+	// Integrity: how stale the last completed scrub pass is (-1 before
+	// the first pass; field absent when scrubbing is disabled) and how
+	// many artifacts sit in the store's quarantine area.
+	ScrubLastPassAgeSeconds *float64 `json:"scrub_last_pass_age_seconds,omitempty"`
+	QuarantineEntries       int      `json:"quarantine_entries,omitempty"`
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -544,6 +561,11 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		if s.store.Degraded() {
 			h.Status = "degraded"
 		}
+		h.QuarantineEntries = s.store.Counters().QuarantineEntries
+	}
+	if s.scrub != nil {
+		age := s.scrub.Counters().LastPassAgeSeconds
+		h.ScrubLastPassAgeSeconds = &age
 	}
 	if s.coord != nil {
 		h.FleetWorkers = s.coord.Gauges().WorkersLive
@@ -585,6 +607,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "airshedd_physics_replays_total %d\n", c.PhysicsReplays)
 	fmt.Fprintf(w, "airshedd_jobs_retries_total %d\n", c.Retries)
 	fmt.Fprintf(w, "airshedd_jobs_panics_total %d\n", c.Panics)
+	// Integrity subsystem: sentinel trips and watchdog cancels are
+	// scheduler outcomes; repairs count completed recompute repairs.
+	fmt.Fprintf(w, "airshedd_sentinel_trips_total %d\n", c.SentinelTrips)
+	fmt.Fprintf(w, "airshedd_watchdog_cancels_total %d\n", c.WatchdogCancels)
+	fmt.Fprintf(w, "airshedd_repairs_total %d\n", c.Repairs)
 	if s.store != nil {
 		sc := s.store.Counters()
 		fmt.Fprintf(w, "airshedd_store_hits_total %d\n", sc.Hits)
@@ -596,6 +623,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "airshedd_store_faults_total %d\n", sc.Faults)
 		fmt.Fprintf(w, "airshedd_store_degraded_ops_total %d\n", sc.DegradedOps)
 		fmt.Fprintf(w, "airshedd_store_temps_swept_total %d\n", sc.TempsSwept)
+		fmt.Fprintf(w, "airshedd_quarantined_total %d\n", sc.Quarantined)
+		fmt.Fprintf(w, "airshedd_quarantine_entries %d\n", sc.QuarantineEntries)
 		br := s.store.Breaker()
 		fmt.Fprintf(w, "airshedd_store_breaker_state %d\n", int(br.State()))
 		fmt.Fprintf(w, "airshedd_store_breaker_trips_total %d\n", br.Trips())
@@ -617,6 +646,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "airshedd_fleet_shards_reassigned_total %d\n", g.ShardsReassigned)
 		fmt.Fprintf(w, "airshedd_fleet_hedges %d\n", g.Hedges)
 		fmt.Fprintf(w, "airshedd_fleet_breakers_open %d\n", g.BreakersOpen)
+	}
+	if s.scrub != nil {
+		ic := s.scrub.Counters()
+		fmt.Fprintf(w, "airshedd_scrub_artifacts_total %d\n", ic.Artifacts)
+		fmt.Fprintf(w, "airshedd_scrub_passes_total %d\n", ic.Passes)
+		fmt.Fprintf(w, "airshedd_scrub_quarantined_total %d\n", ic.Quarantined)
+		fmt.Fprintf(w, "airshedd_scrub_skipped_total %d\n", ic.Skipped)
+		fmt.Fprintf(w, "airshedd_scrub_repair_failures_total %d\n", ic.RepairFailures)
+		fmt.Fprintf(w, "airshedd_scrub_last_pass_age_seconds %g\n", ic.LastPassAgeSeconds)
 	}
 	sm := s.sr.Metrics()
 	fmt.Fprintf(w, "airshedd_sr_predicts_total %d\n", sm.Predicts)

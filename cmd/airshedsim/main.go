@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"airshed/internal/core"
 	"airshed/internal/report"
@@ -61,6 +62,13 @@ func run() error {
 		faultSeed    = flag.Uint64("fault-seed", 0, "deterministic fault-injection seed (with -fault-rate)")
 		faultRate    = flag.Float64("fault-rate", 0, "inject transient faults at hour-I/O points with this probability (0 disables)")
 		faultRetries = flag.Int("fault-retries", 3, "attempts per run under injected faults (1 = no retries)")
+
+		// Integrity knobs: the physics sentinels are on by default (a run
+		// that goes non-physical fails with a typed diagnostic before the
+		// bad hour is persisted); -max-run-seconds bounds the whole run.
+		noSentinels = flag.Bool("no-sentinels", false, "disable the per-hour physics sentinels (NaN/negative scan + mass ledger)")
+		massBound   = flag.Float64("mass-drift-bound", 0, "mass-ledger trip factor per hour (0 = default 10)")
+		maxRunSecs  = flag.Float64("max-run-seconds", 0, "abort the run after this many wall seconds (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -84,6 +92,8 @@ func run() error {
 	cfg.GoParallel = true
 	cfg.HostWorkers = *workers
 	cfg.PipelineDepth = *pipeline
+	cfg.DisableSentinels = *noSentinels
+	cfg.MassDriftBound = *massBound
 	if *snapDir != "" {
 		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
 			return err
@@ -134,20 +144,30 @@ func run() error {
 		}
 	}
 
+	// Run deadline: the context flows into the driver, which checks it
+	// between time steps — the CLI equivalent of airshedd's per-job
+	// deadline propagation.
+	ctx := context.Background()
+	if *maxRunSecs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(*maxRunSecs*float64(time.Second)))
+		defer cancel()
+	}
+
 	var res *core.Result
 	runOnce := func() error {
 		if *restart != "" {
 			if !*jsonOut {
 				fmt.Printf("resuming from snapshot %s\n", *restart)
 			}
-			res, err = core.Restart(*restart, cfg)
+			res, err = core.RestartContext(ctx, *restart, cfg)
 		} else {
-			res, err = core.Run(cfg)
+			res, err = core.RunContext(ctx, cfg)
 		}
 		return err
 	}
 	policy := resilience.RetryPolicy{MaxAttempts: *faultRetries, Jitter: 0.5, Seed: *faultSeed}
-	attempts, err := resilience.Retry(context.Background(), policy, resilience.HashKey(spec.Hash()), runOnce)
+	attempts, err := resilience.Retry(ctx, policy, resilience.HashKey(spec.Hash()), runOnce)
 	if err != nil {
 		return err
 	}

@@ -131,6 +131,17 @@ type Config struct {
 	// order, in both the serial and pipelined paths; implementations
 	// must not block for long (they ride the hour loop).
 	OnHourEnd func(HourSummary)
+	// DisableSentinels turns off the per-hour physics sentinels (the
+	// NaN/Inf/negative scan of the replicated field and the domain-total
+	// mass ledger). Sentinels are on by default: a kernel that goes
+	// non-physical fails the run with a typed *PhysicsError before the
+	// bad hour is persisted anywhere, instead of serving garbage.
+	DisableSentinels bool
+	// MassDriftBound is the mass-ledger trip factor: a domain-total
+	// change beyond ×bound (either direction) across one hour fails the
+	// run with PhysicsMassDrift. 0 means the default (10); values in
+	// (0, 1] are invalid.
+	MassDriftBound float64
 	// IOBytesPerSec, when positive, throttles the hour I/O stages to a
 	// simulated bandwidth (seconds = bytes/rate slept on input decode
 	// and snapshot write): the slow-provider harness the pipeline
@@ -181,6 +192,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: PipelineDepth must be non-negative, got %d", c.PipelineDepth)
 	case c.IOBytesPerSec < 0:
 		return fmt.Errorf("core: IOBytesPerSec must be non-negative, got %g", c.IOBytesPerSec)
+	case c.MassDriftBound < 0 || (c.MassDriftBound > 0 && c.MassDriftBound <= 1):
+		return fmt.Errorf("core: MassDriftBound must be 0 (default) or > 1, got %g", c.MassDriftBound)
 	}
 	if c.InitialConc != nil && len(c.InitialConc) != c.Dataset.Shape.Len() {
 		return fmt.Errorf("core: InitialConc has %d values, want %d", len(c.InitialConc), c.Dataset.Shape.Len())

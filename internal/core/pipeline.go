@@ -349,6 +349,9 @@ func (s *Simulation) runPipelined(ctx context.Context) (err error) {
 		if it.err != nil {
 			return it.err
 		}
+		if err := s.wedgePoint(ctx, hour); err != nil {
+			return err
+		}
 
 		// --- inputhour accounting + pretrans (serial order) ---
 		s.vm.ChargeIO(0, it.inBytes)
@@ -364,6 +367,12 @@ func (s *Simulation) runPipelined(ctx context.Context) (err error) {
 		// --- outputhour: charge the analytic volume now, write async ---
 		repl, err := s.gatherReplica()
 		if err != nil {
+			return err
+		}
+		// Sentinels run before the hour is charged, recorded or queued
+		// for writeback: a tripped hour never reaches the writer, so no
+		// snapshot or checkpoint of it exists anywhere.
+		if err := s.sentinelCheck(it.hour, repl); err != nil {
 			return err
 		}
 		outBytes := hourio.SnapshotSize(sh.Species, sh.Layers, sh.Cells)

@@ -93,6 +93,10 @@ type Simulation struct {
 	minCell float64
 	iO3     int
 
+	// prevMass is the sentinel mass ledger: the previous hour's
+	// domain-total concentration (0 until the first scanned hour).
+	prevMass float64
+
 	trace  *Trace
 	result *Result
 }
@@ -284,6 +288,9 @@ func (s *Simulation) runSerial(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: run abandoned before hour %d: %w", hour, err)
 		}
+		if err := s.wedgePoint(ctx, hour); err != nil {
+			return err
+		}
 		in, err := s.hourProvider(hour).HourInput(hour)
 		if err != nil {
 			return err
@@ -324,6 +331,12 @@ func (s *Simulation) runSerial(ctx context.Context) error {
 		// --- outputhour: sequential I/O processing on node 0 ---
 		repl, err := s.gatherReplica()
 		if err != nil {
+			return err
+		}
+		// Sentinels run before any persistence of the hour's state, so a
+		// NaN/negative/mass-drift hour never reaches a snapshot,
+		// checkpoint or result.
+		if err := s.sentinelCheck(hour, repl); err != nil {
 			return err
 		}
 		outBytes, err := s.writeSnapshot(hour, repl)
@@ -808,12 +821,17 @@ func RestartReaderContext(ctx context.Context, r io.Reader, cfg Config) (*Result
 	}
 	hour, ns, nl, nc, conc, _, err := hourio.ReadSnapshot(r)
 	if err != nil {
-		return nil, resilience.MarkTransient(fmt.Errorf("core: restart snapshot: %w", err))
+		// The snapshot bytes arrived but do not decode (bad magic, CRC
+		// mismatch, truncation): corruption, which is permanent — a retry
+		// would re-read the same bad bytes and burn the whole backoff
+		// budget before falling back to recompute. Callers quarantine the
+		// source artifact and recompute instead.
+		return nil, resilience.MarkCorrupt(fmt.Errorf("core: restart snapshot: %w", err))
 	}
 	sh := cfg.Dataset.Shape
 	if ns != sh.Species || nl != sh.Layers || nc != sh.Cells {
-		return nil, fmt.Errorf("core: snapshot dimensions A(%d,%d,%d) do not match data set %v",
-			ns, nl, nc, sh)
+		return nil, resilience.MarkCorrupt(fmt.Errorf("core: snapshot dimensions A(%d,%d,%d) do not match data set %v",
+			ns, nl, nc, sh))
 	}
 	cfg.StartHour = hour + 1
 	cfg.InitialConc = conc

@@ -114,6 +114,10 @@ type workerState struct {
 	lost        bool
 	queueDepth  int
 	busyWorkers int
+	// quarantined is the worker's cumulative quarantined-artifact count
+	// from its latest heartbeat: non-zero marks a sick store, which
+	// halves the worker's packing weight (Capacity.Sick).
+	quarantined uint64
 }
 
 // shard is one dispatched unit of a fleet sweep.
@@ -331,6 +335,11 @@ func (c *Coordinator) Beat(hb Heartbeat) error {
 	w.lost = false
 	w.queueDepth = hb.QueueDepth
 	w.busyWorkers = hb.BusyWorkers
+	if hb.Store.Quarantined > w.quarantined {
+		c.opts.Logf("fleet: worker %s reports %d quarantined artifacts (was %d): down-weighting until clean",
+			hb.Name, hb.Store.Quarantined, w.quarantined)
+	}
+	w.quarantined = hb.Store.Quarantined
 	return nil
 }
 
@@ -353,6 +362,7 @@ func (c *Coordinator) Workers() []WorkerView {
 			Lost:        w.lost,
 			QueueDepth:  w.queueDepth,
 			BusyWorkers: w.busyWorkers,
+			Quarantined: w.quarantined,
 		}
 		if b, ok := c.breakers[w.Name]; ok {
 			wv.Breaker = b.State().String()
@@ -395,7 +405,7 @@ func (c *Coordinator) liveLocked() ([]Capacity, map[string]string) {
 		if slots < 1 {
 			slots = w.Workers
 		}
-		caps = append(caps, Capacity{Name: w.Name, Profile: w.profile, Slots: slots})
+		caps = append(caps, Capacity{Name: w.Name, Profile: w.profile, Slots: slots, Sick: w.quarantined > 0})
 		urls[w.Name] = w.URL
 	}
 	sort.Slice(caps, func(i, j int) bool { return caps[i].Name < caps[j].Name })

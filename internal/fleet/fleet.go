@@ -83,6 +83,9 @@ type WorkerView struct {
 	Lost        bool      `json:"lost,omitempty"`
 	QueueDepth  int       `json:"queue_depth"`
 	BusyWorkers int       `json:"busy_workers"`
+	// Quarantined is the worker's cumulative quarantined-artifact count
+	// (sick-store signal; non-zero halves its packing weight).
+	Quarantined uint64 `json:"quarantined,omitempty"`
 	// Breaker is the worker's dispatch circuit-breaker state ("closed",
 	// "half-open", "open"); empty until the first dispatch touches it.
 	Breaker string `json:"breaker,omitempty"`

@@ -21,6 +21,12 @@ type Capacity struct {
 	// Slots is the worker's effective parallel width — its advertised
 	// host-worker count (0 and negative normalize to 1).
 	Slots int
+	// Sick marks a worker whose heartbeats report quarantined store
+	// artifacts: its storage is corrupting data, so the packer halves
+	// its effective speed — it keeps serving (quarantine + verified
+	// reads contain the damage) but stops being a preferred destination
+	// until its store comes back clean.
+	Sick bool
 }
 
 // Speed is the worker's effective work rate in CostEstimate units per
@@ -30,7 +36,11 @@ func (c Capacity) Speed() float64 {
 	if slots < 1 {
 		slots = 1
 	}
-	return float64(slots) / c.Profile.FlopTime
+	speed := float64(slots) / c.Profile.FlopTime
+	if c.Sick {
+		speed /= 2
+	}
+	return speed
 }
 
 // unit is one indivisible packing unit: a warm-start family of specs

@@ -1,0 +1,279 @@
+package integrity
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"airshed/internal/core"
+	"airshed/internal/resilience"
+	"airshed/internal/scenario"
+	"airshed/internal/sched"
+	"airshed/internal/store"
+)
+
+func chaosSpec() scenario.Spec {
+	return scenario.Spec{Dataset: "mini", Machine: "t3e", Nodes: 2, Hours: 2}
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func newSched(t *testing.T, st *store.Store) *sched.Scheduler {
+	t.Helper()
+	s := sched.New(sched.Options{Workers: 2, GoParallel: true, Store: st})
+	t.Cleanup(func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+func runJob(t *testing.T, s *sched.Scheduler, spec scenario.Spec) sched.JobStatus {
+	t.Helper()
+	sub, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	fin, err := s.Await(ctx, sub.ID)
+	if err != nil {
+		t.Fatalf("Await(%s): %v", sub.ID, err)
+	}
+	if fin.State != sched.Done {
+		t.Fatalf("job %s state = %v (err %v)", sub.ID, fin.State, fin.Err)
+	}
+	return fin
+}
+
+// flipByte corrupts one byte of a stored artifact on disk, behind the
+// store's back, and returns the corrupted bytes for later comparison
+// against the quarantined copy.
+func flipByte(t *testing.T, dir, key string, rng *rand.Rand) []byte {
+	t.Helper()
+	p := filepath.Join(dir, filepath.FromSlash(key))
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("read %s: %v", key, err)
+	}
+	data[rng.Intn(len(data))] ^= 0xff
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatalf("rewrite %s: %v", key, err)
+	}
+	return data
+}
+
+// checkpointKeys lists the stored checkpoint keys in listing order.
+func checkpointKeys(t *testing.T, st *store.Store) []string {
+	t.Helper()
+	infos, err := st.ListBlobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, info := range infos {
+		kind, _, err := store.SplitKey(info.Key)
+		if err == nil && kind == store.KindCheckpoint {
+			keys = append(keys, info.Key)
+		}
+	}
+	if len(keys) == 0 {
+		t.Fatal("run persisted no checkpoints")
+	}
+	return keys
+}
+
+// TestCorruptionChaosRepair is the end-to-end integrity drill: flip one
+// byte in a stored result and in a stored checkpoint, run a scrub pass,
+// and assert the rot is quarantined (never deleted), repaired by
+// recompute, and that the repaired artifacts are bit-identical to the
+// uncorrupted originals. Three seeds vary which checkpoint rots and
+// where the flipped byte lands.
+func TestCorruptionChaosRepair(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			st := openStore(t, dir)
+			s := newSched(t, st)
+
+			base := runJob(t, s, chaosSpec())
+			baseFinal := append([]float64(nil), base.Result.Final...)
+			basePeaks := append([]float64(nil), base.Result.HourlyPeakO3...)
+
+			ckKeys := checkpointKeys(t, st)
+			ckKey := ckKeys[rng.Intn(len(ckKeys))]
+			origCk, err := st.Backend().Get(ckKey)
+			if err != nil {
+				t.Fatalf("read pristine checkpoint: %v", err)
+			}
+			resKey := "results/" + base.Hash + ".res"
+
+			corruptRes := flipByte(t, dir, resKey, rng)
+			flipByte(t, dir, ckKey, rng)
+
+			sc := New(Options{Store: st, Interval: -1, Repair: s, RepairTimeout: 2 * time.Minute, Logf: t.Logf})
+			sc.Pass(context.Background())
+			c := sc.Counters()
+
+			// The result is scanned first and its repair is a full cold
+			// recompute, which rewrites every checkpoint — so by the time
+			// the pass reaches the corrupted checkpoint it is healthy
+			// again. Exactly one quarantine, one repair.
+			if c.Quarantined != 1 {
+				t.Errorf("Quarantined = %d, want 1", c.Quarantined)
+			}
+			if c.Repairs != 1 || c.RepairFailures != 0 {
+				t.Errorf("Repairs = %d RepairFailures = %d, want 1/0", c.Repairs, c.RepairFailures)
+			}
+
+			// Quarantine preserves the rotten bytes — corruption is
+			// evidence, never silently deleted.
+			qdata, err := os.ReadFile(filepath.Join(dir, "quarantine", filepath.FromSlash(resKey)))
+			if err != nil {
+				t.Fatalf("quarantined result missing: %v", err)
+			}
+			if !bytes.Equal(qdata, corruptRes) {
+				t.Error("quarantined result bytes differ from the corrupted original")
+			}
+
+			// The repaired result is bit-identical to the baseline.
+			res, ok := st.GetResult(base.Hash)
+			if !ok {
+				t.Fatal("repaired result missing from store")
+			}
+			if !reflect.DeepEqual(res.Final, baseFinal) {
+				t.Error("repaired Final differs from baseline (determinism broken)")
+			}
+			if !reflect.DeepEqual(res.HourlyPeakO3, basePeaks) {
+				t.Error("repaired HourlyPeakO3 differs from baseline")
+			}
+
+			// The checkpoint rewritten by the repair is bit-identical too.
+			gotCk, err := st.Backend().Get(ckKey)
+			if err != nil {
+				t.Fatalf("read repaired checkpoint: %v", err)
+			}
+			if !bytes.Equal(gotCk, origCk) {
+				t.Error("repaired checkpoint bytes differ from pristine original")
+			}
+
+			// A second pass over the healthy store is quiet.
+			sc.Pass(context.Background())
+			if c2 := sc.Counters(); c2.Quarantined != c.Quarantined || c2.Repairs != c.Repairs {
+				t.Errorf("second pass not quiet: quarantined %d->%d repairs %d->%d",
+					c.Quarantined, c2.Quarantined, c.Repairs, c2.Repairs)
+			}
+		})
+	}
+}
+
+// TestCheckpointRepairViaManifest corrupts only a checkpoint — whose
+// name is a physics-prefix hash, not a spec hash — and asserts the
+// scrubber resolves it back to its producing spec through the stored
+// manifests, repairs it, and that warm starts from the repaired
+// artifacts still reproduce a cold run bit for bit.
+func TestCheckpointRepairViaManifest(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	s := newSched(t, st)
+
+	runJob(t, s, chaosSpec())
+
+	ckKeys := checkpointKeys(t, st)
+	ckKey := ckKeys[rng.Intn(len(ckKeys))]
+	origCk, err := st.Backend().Get(ckKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptCk := flipByte(t, dir, ckKey, rng)
+
+	sc := New(Options{Store: st, Interval: -1, Repair: s, RepairTimeout: 2 * time.Minute, Logf: t.Logf})
+	sc.Pass(context.Background())
+	c := sc.Counters()
+	if c.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1", c.Quarantined)
+	}
+	if c.Repairs != 1 || c.RepairFailures != 0 {
+		t.Errorf("Repairs = %d RepairFailures = %d, want 1/0", c.Repairs, c.RepairFailures)
+	}
+
+	qdata, err := os.ReadFile(filepath.Join(dir, "quarantine", filepath.FromSlash(ckKey)))
+	if err != nil {
+		t.Fatalf("quarantined checkpoint missing: %v", err)
+	}
+	if !bytes.Equal(qdata, corruptCk) {
+		t.Error("quarantined checkpoint bytes differ from the corrupted original")
+	}
+	gotCk, err := st.Backend().Get(ckKey)
+	if err != nil {
+		t.Fatalf("read repaired checkpoint: %v", err)
+	}
+	if !bytes.Equal(gotCk, origCk) {
+		t.Error("repaired checkpoint differs from pristine original")
+	}
+
+	// Warm-start usability: a longer run resumes from the repaired
+	// checkpoint and matches a cold run exactly.
+	longer := chaosSpec()
+	longer.Hours = 3
+	warm := runJob(t, s, longer)
+	if warm.WarmStartHour == 0 {
+		t.Error("longer run did not warm-start from the repaired artifacts")
+	}
+
+	coldSched := newSched(t, openStore(t, t.TempDir()))
+	cold := runJob(t, coldSched, longer)
+	if !reflect.DeepEqual(warm.Result.Final, cold.Result.Final) {
+		t.Error("warm-started result from repaired checkpoint differs from cold run")
+	}
+}
+
+// TestScrubFaultSkipsNeverQuarantines fires the store.scrub fault point
+// on every artifact: an unreadable artifact must be skipped and retried
+// next pass, never quarantined — healthy bytes stay served.
+func TestScrubFaultSkipsNeverQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	if err := st.PutResult("aa11", &core.Result{Final: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := resilience.New(9).Set(resilience.PointStoreScrub, 1)
+	resilience.Enable(inj)
+	sc := New(Options{Store: st, Interval: -1})
+	sc.Pass(context.Background())
+	resilience.Disable()
+
+	c := sc.Counters()
+	if c.Skipped == 0 {
+		t.Error("injected read faults produced no skips")
+	}
+	if c.Quarantined != 0 || c.Artifacts != 0 {
+		t.Errorf("faulted pass quarantined %d / verified %d artifacts, want 0/0", c.Quarantined, c.Artifacts)
+	}
+	if _, ok := st.GetResult("aa11"); !ok {
+		t.Error("healthy artifact lost after faulted scrub pass")
+	}
+
+	// With the faults gone the next pass verifies everything.
+	sc.Pass(context.Background())
+	if c := sc.Counters(); c.Artifacts == 0 || c.Quarantined != 0 {
+		t.Errorf("clean pass: Artifacts = %d Quarantined = %d, want >0/0", c.Artifacts, c.Quarantined)
+	}
+}

@@ -425,7 +425,12 @@ func TestChaosBreakerRecovers(t *testing.T) {
 	inj := resilience.New(7).Set(resilience.PointStoreWrite, 1)
 	withInjector(t, inj)
 	st := openChaosStore(t)
-	st.SetBreaker(resilience.NewBreaker(1, 30*time.Millisecond))
+	// The cooldown must comfortably outlast the encode work a PutResult
+	// does before it consults the breaker — under -race on a loaded
+	// machine that encode alone can take tens of milliseconds, and a
+	// too-short cooldown lets the breaker go half-open between the two
+	// calls below.
+	st.SetBreaker(resilience.NewBreaker(1, 500*time.Millisecond))
 
 	if err := st.PutResult("deadbeef", res); err == nil {
 		t.Fatal("injected write unexpectedly succeeded")
@@ -439,7 +444,7 @@ func TestChaosBreakerRecovers(t *testing.T) {
 
 	// The outage ends; after the cooldown the probe write re-closes.
 	resilience.Disable()
-	time.Sleep(40 * time.Millisecond)
+	time.Sleep(600 * time.Millisecond)
 	if err := st.PutResult("deadbeef", res); err != nil {
 		t.Fatalf("probe write after recovery: %v", err)
 	}

@@ -57,6 +57,33 @@ type transienter interface {
 	Transient() bool
 }
 
+// CorruptionError marks a decode/checksum failure of data that was read
+// back intact at the transport level: the bytes arrived, and they are
+// wrong. Retrying re-reads the same bad bytes, so corruption is
+// permanent — the caller must fall through to recompute (and quarantine
+// the artifact) instead of burning the backoff budget first.
+type CorruptionError struct{ err error }
+
+func (e *CorruptionError) Error() string { return "corrupt: " + e.err.Error() }
+func (e *CorruptionError) Unwrap() error { return e.err }
+
+// Transient reports false: re-reading corrupt bytes cannot cure them.
+func (e *CorruptionError) Transient() bool { return false }
+
+// MarkCorrupt wraps err as a CorruptionError (permanent). nil stays nil.
+func MarkCorrupt(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &CorruptionError{err: err}
+}
+
+// IsCorrupt reports whether err's chain contains a CorruptionError.
+func IsCorrupt(err error) bool {
+	var c *CorruptionError
+	return errors.As(err, &c)
+}
+
 // netTimeoutError wraps a transport-level timeout as transient with the
 // underlying chain deliberately severed (no Unwrap): Go's HTTP client
 // reports its own per-request timeout via context.DeadlineExceeded,

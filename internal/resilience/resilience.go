@@ -73,11 +73,25 @@ const (
 	// PointFleetHeartbeat fires per agent heartbeat: a fault is the
 	// heartbeat dropped before it reaches the coordinator.
 	PointFleetHeartbeat = "fleet.heartbeat"
+	// PointStoreScrub fires per artifact the integrity scrubber visits:
+	// a fault is a read error during verification — the artifact is
+	// skipped this pass (injection may fail work, never corrupt it, so a
+	// fired scrub fault must NOT quarantine a healthy blob).
+	PointStoreScrub = "store.scrub"
+	// PointCoreSentinel fires once per simulated hour just before the
+	// physics sentinel scan: a fault poisons the replica (NaN, negative,
+	// or mass drift by call index) so the sentinel path is testable
+	// without breaking the real kernels.
+	PointCoreSentinel = "core.sentinel"
+	// PointCoreWedge fires at the head of each simulated hour: a fault
+	// black-holes the hour (blocks until the run context is cancelled),
+	// the failure shape the scheduler's stuck-hour watchdog exists for.
+	PointCoreWedge = "core.wedge"
 )
 
 // Points lists the canonical injection points.
 func Points() []string {
-	return []string{PointStoreRead, PointStoreWrite, PointHourRead, PointHourWrite, PointSchedExec, PointFxChunk, PointPipePrefetch, PointPipeWrite, PointFleetDispatch, PointFleetBlobGet, PointFleetBlobPut, PointFleetHeartbeat}
+	return []string{PointStoreRead, PointStoreWrite, PointHourRead, PointHourWrite, PointSchedExec, PointFxChunk, PointPipePrefetch, PointPipeWrite, PointFleetDispatch, PointFleetBlobGet, PointFleetBlobPut, PointFleetHeartbeat, PointStoreScrub, PointCoreSentinel, PointCoreWedge}
 }
 
 // InjectedError is the error an injection point fires. It is transient

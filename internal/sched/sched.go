@@ -45,7 +45,6 @@ import (
 	"time"
 
 	"airshed/internal/core"
-	"airshed/internal/machine"
 	"airshed/internal/perfmodel"
 	"airshed/internal/resilience"
 	"airshed/internal/scenario"
@@ -153,6 +152,26 @@ type Options struct {
 	// either way (the core determinism matrix); this only moves hour I/O
 	// off the compute critical path.
 	PipelineDepth int
+	// DeadlineFactor derives a per-job execution deadline from the
+	// perfmodel cost estimate: deadline = factor × (cost × calibrated
+	// rate), floored at WatchdogFloor. 0 disables cost-derived
+	// deadlines. The deadline flows into the job's context, so the core
+	// driver observes it between time steps.
+	DeadlineFactor float64
+	// MaxRun is an absolute per-job execution cap (the -max-run-seconds
+	// flag): it clamps the cost-derived deadline and applies alone when
+	// DeadlineFactor is 0. 0 means no cap.
+	MaxRun time.Duration
+	// WatchdogFactor arms the stuck-hour watchdog: a running job that
+	// completes no hour within factor × its per-hour estimate (floored
+	// at WatchdogFloor) is cancelled with a stack-dump diagnostic
+	// (*WatchdogError) instead of pinning a worker slot forever. 0
+	// disables the watchdog.
+	WatchdogFactor float64
+	// WatchdogFloor is the minimum derived deadline and stuck-hour bound
+	// (default 5s): estimates for tiny jobs are noise-dominated, and a
+	// floor keeps scheduling jitter from cancelling healthy runs.
+	WatchdogFloor time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -180,6 +199,9 @@ func (o Options) withDefaults() Options {
 		o.Retry = resilience.RetryPolicy{Jitter: 0.5}
 	}
 	o.Retry = o.Retry.WithDefaults()
+	if o.WatchdogFloor <= 0 {
+		o.WatchdogFloor = 5 * time.Second
+	}
 	return o
 }
 
@@ -215,6 +237,14 @@ type Counters struct {
 	Retries uint64
 	Panics  uint64
 
+	// Integrity outcomes: SentinelTrips counts jobs failed by a physics
+	// sentinel (*core.PhysicsError — permanent, zero retries consumed);
+	// WatchdogCancels counts jobs the stuck-hour watchdog cancelled;
+	// Repairs counts completed integrity-repair recomputes (Recompute).
+	SentinelTrips   uint64
+	WatchdogCancels uint64
+	Repairs         uint64
+
 	// Gauges.
 	QueueDepth   int
 	BusyWorkers  int
@@ -245,11 +275,19 @@ type job struct {
 	fromStore bool
 	warmHour  int
 	wholesale bool
+	repair    bool // integrity repair: bypass caches and warm starts
 	attempts  int
 	lastErr   error
 	err       error
 	result    *core.Result
 	journaled bool // WAL Accept completed; terminal states must retire it
+
+	// lastProgress is the watchdog's liveness mark: set when execution
+	// starts (and on each retry attempt) and on every hour event.
+	lastProgress time.Time
+	// watchdogErr is the stuck-hour diagnostic when the watchdog
+	// cancelled this job; it replaces the run's cancellation error.
+	watchdogErr error
 
 	// events is the per-hour progress stream (Watch); changed is closed
 	// and replaced on every append, and closed for good on the terminal
@@ -638,6 +676,7 @@ func (s *Scheduler) appendHourEvent(j *job, hs core.HourSummary, stored bool) {
 	if j.state.Terminal() || j.changed == nil {
 		return
 	}
+	j.lastProgress = time.Now() // watchdog liveness mark
 	j.events = append(j.events, HourEvent{
 		Seq:      len(j.events),
 		Hour:     hs.Hour,
@@ -675,10 +714,7 @@ func (s *Scheduler) EstimatedWait() time.Duration {
 }
 
 func (s *Scheduler) estimatedWaitLocked() time.Duration {
-	rate := machine.GoHost().FlopTime // seconds per cost unit, a-priori
-	if s.doneCost > 0 && s.doneWall > 0 {
-		rate = s.doneWall / s.doneCost
-	}
+	rate := s.rateLocked()
 	pending := s.queuedCost + s.runningCost
 	if pending < 0 {
 		pending = 0 // float residue from add/remove churn
@@ -811,21 +847,38 @@ func (s *Scheduler) runJob(j *job) {
 		s.mu.Unlock()
 		return
 	}
+	// Effective deadline: the static JobTimeout, tightened by the
+	// cost-derived per-job deadline (DeadlineFactor × estimated wall
+	// time, clamped by MaxRun). The deadline lives on the job context,
+	// so it propagates through executeJob into core.RunContext and the
+	// driver observes it between time steps.
+	timeout := s.opts.JobTimeout
+	if d := s.deadlineLocked(j); d > 0 && (timeout == 0 || d < timeout) {
+		timeout = d
+	}
 	var ctx context.Context
 	var cancel context.CancelFunc
-	if s.opts.JobTimeout > 0 {
-		ctx, cancel = context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
 	} else {
 		ctx, cancel = context.WithCancel(s.baseCtx)
 	}
 	j.state = Running
 	j.started = time.Now()
+	j.lastProgress = j.started
 	j.cancel = cancel
 	s.counters.BusyWorkers++
 	s.queuedCost -= j.cost
 	s.runningCost += j.cost
+	watchBound := s.watchdogBoundLocked(j)
 	s.mu.Unlock()
 	defer cancel()
+
+	if watchBound > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go s.watchJob(ctx, cancel, j, watchBound, stop)
+	}
 
 	// Retry loop: transient failures (I/O hiccups, injected faults)
 	// re-execute under capped exponential backoff; permanent failures
@@ -842,6 +895,7 @@ func (s *Scheduler) runJob(j *job) {
 	for attempt := 1; ; attempt++ {
 		s.mu.Lock()
 		j.attempts = attempt
+		j.lastProgress = time.Now() // each attempt restarts the watchdog clock
 		s.mu.Unlock()
 		res, warmHour, wholesale, err = s.attemptJob(ctx, j)
 		if err == nil || !resilience.IsTransient(err) || attempt >= s.opts.Retry.MaxAttempts {
@@ -862,6 +916,13 @@ func (s *Scheduler) runJob(j *job) {
 		// restarts their head start, so remember the hash — the next
 		// cache hit re-issues the write (see repersistLocked).
 		perr := s.opts.Store.PutResult(j.hash, res)
+		if perr == nil {
+			// Record the result-hash → spec mapping the integrity
+			// scrubber needs to turn a quarantined artifact back into a
+			// recomputable job (best-effort: a lost manifest only costs
+			// repairability, not correctness).
+			s.persistManifest(j.spec, j.hash)
+		}
 		s.mu.Lock()
 		if perr != nil {
 			s.unpersisted[j.hash] = struct{}{}
@@ -873,6 +934,17 @@ func (s *Scheduler) runJob(j *job) {
 
 	s.mu.Lock()
 	s.counters.BusyWorkers--
+	if err != nil && j.watchdogErr != nil {
+		// The run died of the watchdog's cancellation: surface the
+		// stuck-hour diagnostic, not the bare context error.
+		err = j.watchdogErr
+	}
+	if err != nil {
+		var pe *core.PhysicsError
+		if errors.As(err, &pe) {
+			s.counters.SentinelTrips++
+		}
+	}
 	var retire bool
 	switch {
 	case err == nil:
@@ -888,6 +960,9 @@ func (s *Scheduler) runJob(j *job) {
 			// physics replay's near-zero wall time would skew it).
 			s.doneCost += j.cost
 			s.doneWall += time.Since(j.started).Seconds()
+		}
+		if j.repair {
+			s.counters.Repairs++
 		}
 		s.cache.put(j.hash, res)
 		retire = s.finalizeLocked(j, Done, res, nil)

@@ -50,7 +50,27 @@ type BlobInfo struct {
 }
 
 // kinds are the artifact kind subdirectories every backend namespaces by.
-var kinds = []string{kindResult, kindRecord, kindCheckpoint, kindSRMatrix}
+var kinds = []string{kindResult, kindRecord, kindCheckpoint, kindSRMatrix, kindSpec}
+
+// quarantineDir is the sibling namespace corrupt blobs are moved into:
+// a quarantined blob leaves the served key space (every subsequent Get
+// misses) but its bytes stay on the medium for forensics. Nothing in
+// the store ever deletes from quarantine; that is the operator's call.
+const quarantineDir = "quarantine"
+
+// Quarantiner is the optional Backend capability behind the store's
+// corruption contract: a blob that fails verification is moved aside,
+// never silently deleted. Backends without it fall back to Delete (the
+// pre-quarantine behaviour), which the Store surfaces in its counters.
+type Quarantiner interface {
+	// Quarantine moves the blob out of the served namespace into the
+	// quarantine area, preserving its bytes. Quarantining a missing key
+	// is not an error (the blob may have vanished under GC).
+	Quarantine(key string) error
+	// QuarantineCount returns the number of blobs currently held in
+	// quarantine.
+	QuarantineCount() int
+}
 
 // blobName validates the name half of a blob key: hash plus extension,
 // nothing that could escape the kind directory or collide with write
@@ -202,6 +222,49 @@ func (b *DirBackend) List() ([]BlobInfo, error) {
 	return out, nil
 }
 
+// Quarantine implements Quarantiner: the blob is renamed into
+// quarantine/<kind>/<name>, staying on the same filesystem (same-device
+// rename, so the move is atomic and costs no copy). A second specimen
+// under the same key gets a numeric suffix instead of overwriting the
+// first.
+func (b *DirBackend) Quarantine(key string) error {
+	src := filepath.Join(b.dir, filepath.FromSlash(key))
+	dst := filepath.Join(b.dir, quarantineDir, filepath.FromSlash(key))
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("store: quarantining %s: %w", key, err)
+	}
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(b.dir, quarantineDir, filepath.FromSlash(key)) + fmt.Sprintf(".%d", i)
+	}
+	if err := os.Rename(src, dst); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: quarantining %s: %w", key, err)
+	}
+	return nil
+}
+
+// QuarantineCount implements Quarantiner.
+func (b *DirBackend) QuarantineCount() int {
+	n := 0
+	for _, kind := range kinds {
+		des, err := os.ReadDir(filepath.Join(b.dir, quarantineDir, kind))
+		if err != nil {
+			continue
+		}
+		for _, de := range des {
+			if !de.IsDir() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // SweepTemps removes tmp-* files no in-flight write owns — debris from
 // writers that died between CreateTemp and rename — and returns how many
 // went.
@@ -233,8 +296,9 @@ func (b *DirBackend) SweepTemps() int {
 
 // MemBackend is an in-memory backend for tests and ephemeral stores.
 type MemBackend struct {
-	mu    sync.Mutex
-	blobs map[string]memBlob
+	mu          sync.Mutex
+	blobs       map[string]memBlob
+	quarantined map[string][]byte
 }
 
 type memBlob struct {
@@ -287,4 +351,43 @@ func (b *MemBackend) List() ([]BlobInfo, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out, nil
+}
+
+// Quarantine implements Quarantiner.
+func (b *MemBackend) Quarantine(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bl, ok := b.blobs[key]
+	if !ok {
+		return nil
+	}
+	if b.quarantined == nil {
+		b.quarantined = make(map[string][]byte)
+	}
+	qkey := key
+	for i := 1; ; i++ {
+		if _, taken := b.quarantined[qkey]; !taken {
+			break
+		}
+		qkey = fmt.Sprintf("%s.%d", key, i)
+	}
+	b.quarantined[qkey] = bl.data
+	delete(b.blobs, key)
+	return nil
+}
+
+// QuarantineCount implements Quarantiner.
+func (b *MemBackend) QuarantineCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.quarantined)
+}
+
+// Quarantined returns the quarantined bytes under key, for tests
+// asserting a corrupt blob was preserved rather than deleted.
+func (b *MemBackend) Quarantined(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.quarantined[key]
+	return data, ok
 }

@@ -23,6 +23,7 @@ const maxBlobBody = 64 << 20
 //	GET    /v1/fleet/blobs              → JSON [ {key,size,mod_time} ]
 //	GET    /v1/fleet/blobs/{kind}/{name} → blob bytes (404 when missing)
 //	PUT    /v1/fleet/blobs/{kind}/{name} → store blob
+//	POST   /v1/fleet/blobs/{kind}/{name} → quarantine blob (worker-detected corruption)
 //	DELETE /v1/fleet/blobs/{kind}/{name} → remove blob
 //
 // Keys are validated by SplitKey, so network input cannot escape the
@@ -51,8 +52,13 @@ func (h *BlobServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.put(w, r, rest)
 	case http.MethodDelete:
 		h.delete(w, rest)
+	case http.MethodPost:
+		// POST on a blob key is the quarantine verb: a fleet worker that
+		// detected corruption in fetched bytes asks the one store owning
+		// those bytes to move them aside.
+		h.quarantine(w, rest)
 	default:
-		w.Header().Set("Allow", "GET, PUT, DELETE")
+		w.Header().Set("Allow", "GET, PUT, POST, DELETE")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
 }
@@ -113,6 +119,14 @@ func (h *BlobServer) put(w http.ResponseWriter, r *http.Request, key string) {
 
 func (h *BlobServer) delete(w http.ResponseWriter, key string) {
 	if err := h.store.DeleteBlob(key); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (h *BlobServer) quarantine(w http.ResponseWriter, key string) {
+	if err := h.store.QuarantineBlob(key); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}

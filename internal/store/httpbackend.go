@@ -130,6 +130,27 @@ func (b *HTTPBackend) getOnce(key string) ([]byte, error) {
 	return data, nil
 }
 
+// Quarantine implements Quarantiner by asking the coordinator to move
+// the blob aside (POST on the blob key): a worker that detected
+// corruption in fetched bytes routes the quarantine to the one store
+// that owns those bytes instead of deleting them.
+func (b *HTTPBackend) Quarantine(key string) error {
+	resp, err := b.client.Post(b.url(key), "application/octet-stream", nil)
+	if err != nil {
+		return resilience.ClassifyNetErr(fmt.Errorf("store: quarantining %s: %w", key, err))
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("store: quarantining %s: coordinator returned %s", key, resp.Status)
+	}
+	return nil
+}
+
+// QuarantineCount implements Quarantiner. The coordinator owns the
+// quarantine area and reports its size in its own counters; a worker's
+// view is always 0 rather than a per-heartbeat network round trip.
+func (b *HTTPBackend) QuarantineCount() int { return 0 }
+
 // Delete implements Backend.
 func (b *HTTPBackend) Delete(key string) error {
 	req, err := http.NewRequest(http.MethodDelete, b.url(key), nil)

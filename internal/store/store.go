@@ -22,8 +22,14 @@
 // directory, fsyncs, renames into place) so a crash never leaves a
 // partially-visible entry, while reads are defensive — a truncated,
 // bit-flipped or otherwise undecodable entry fails its CRC or decode, is
-// deleted, and reported as a miss. Callers recompute; the store never
-// propagates corruption and never crashes on it. A size-capped GC evicts
+// moved into the backend's quarantine area (never silently deleted, so
+// the bad bytes stay available for forensics and can never be re-served
+// or re-read as good), and reported as a miss. Callers recompute; the
+// store never propagates corruption and never crashes on it. The
+// integrity scrubber (internal/integrity) walks the store in the
+// background re-verifying every artifact through the same quarantine
+// path, and SetVerifyReads arms a paranoid mode that re-verifies raw
+// blob reads (GetBlob) too. A size-capped GC evicts
 // oldest-first when the configured byte budget is exceeded, so the store
 // can run unattended under a daemon. A Store over a shared Backend keeps
 // no local index and never garbage-collects: the backend's owner (the
@@ -54,6 +60,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"airshed/internal/core"
@@ -78,6 +85,18 @@ const (
 	kindRecord     = "records"
 	kindCheckpoint = "checkpoints"
 	kindSRMatrix   = "srmatrices"
+	kindSpec       = "specs"
+)
+
+// Exported kind names, for packages that walk the store layout by
+// "kind/name" key (the integrity scrubber dispatches repair strategy on
+// the kind of a quarantined artifact).
+const (
+	KindResult     = kindResult
+	KindRecord     = kindRecord
+	KindCheckpoint = kindCheckpoint
+	KindSRMatrix   = kindSRMatrix
+	KindSpec       = kindSpec
 )
 
 // PhysicsRecord is the machine-independent physics of a run prefix: the
@@ -133,12 +152,21 @@ type Counters struct {
 	DegradedOps uint64
 	TempsSwept  uint64
 
+	// Quarantined counts blobs moved into the quarantine area after
+	// failing verification (a subset of Corrupt: every quarantine books
+	// a corruption, but a backend without quarantine support books the
+	// corruption and deletes instead).
+	Quarantined uint64
+
 	// Gauges (zero for a Store over a shared Backend, which keeps no
 	// local index). Pinned counts artifacts currently pin-protected
 	// from GC (a serving daemon's resident SR matrices).
-	Entries int
-	Bytes   int64
-	Pinned  int
+	// QuarantineEntries is the number of blobs currently held in the
+	// backend's quarantine area (0 when the backend has none).
+	Entries           int
+	Bytes             int64
+	Pinned            int
+	QuarantineEntries int
 }
 
 // entry is one stored artifact in the index.
@@ -150,10 +178,11 @@ type entry struct {
 // Store is the artifact store. Create with Open (local directory) or
 // OpenBackend (any Backend).
 type Store struct {
-	backend  Backend
-	shared   bool
-	maxBytes int64
-	breaker  *resilience.Breaker
+	backend     Backend
+	shared      bool
+	maxBytes    int64
+	breaker     *resilience.Breaker
+	verifyReads atomic.Bool
 
 	mu       sync.Mutex
 	entries  map[string]entry // by relpath kind/hash.ext; nil when shared
@@ -257,6 +286,17 @@ func (s *Store) ioFailure() {
 	s.breaker.Failure()
 }
 
+// SetVerifyReads arms (or disarms) paranoid read verification: with it
+// on, raw blob reads (GetBlob — the path the fleet blob server serves
+// workers from, which otherwise trusts the reader's CRC check) re-verify
+// the blob's framing and checksums on every Get, routing failures
+// through quarantine. The typed getters (GetResult, Checkpoint, …)
+// always verify regardless of this mode.
+func (s *Store) SetVerifyReads(on bool) { s.verifyReads.Store(on) }
+
+// VerifyReads reports whether paranoid read verification is armed.
+func (s *Store) VerifyReads() bool { return s.verifyReads.Load() }
+
 // Counters snapshots the metrics.
 func (s *Store) Counters() Counters {
 	s.mu.Lock()
@@ -265,6 +305,9 @@ func (s *Store) Counters() Counters {
 	c.Entries = len(s.entries)
 	c.Bytes = s.bytes
 	c.Pinned = len(s.pinned)
+	if q, ok := s.backend.(Quarantiner); ok {
+		c.QuarantineEntries = q.QuarantineCount()
+	}
 	return c
 }
 
@@ -475,14 +518,51 @@ func (s *Store) miss(rel string) {
 	}
 }
 
-// corrupt books a failed verification: the entry is deleted and the
-// lookup reported as a miss, so the caller transparently recomputes.
+// corrupt books a failed verification: the blob is quarantined (moved
+// aside, never silently deleted) and the lookup reported as a miss, so
+// the caller transparently recomputes and the next Get of the same key
+// misses cleanly instead of re-reading the same bad bytes — a corrupt
+// artifact is handled exactly once.
 func (s *Store) corrupt(rel string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.counters.Corrupt++
 	s.counters.Misses++
-	s.removeLocked(rel)
+	s.quarantineLocked(rel)
+}
+
+// quarantineLocked moves rel out of the served namespace: dropped from
+// the local index, then moved into the backend's quarantine area when
+// the backend supports it, deleted otherwise (the pre-quarantine
+// behaviour — a shared HTTP backend quarantines coordinator-side via
+// the blob protocol). s.mu held.
+func (s *Store) quarantineLocked(rel string) {
+	if e, ok := s.entries[rel]; ok {
+		s.bytes -= e.size
+		delete(s.entries, rel)
+	}
+	if q, ok := s.backend.(Quarantiner); ok {
+		if q.Quarantine(rel) == nil {
+			s.counters.Quarantined++
+			return
+		}
+	}
+	_ = s.backend.Delete(rel)
+}
+
+// QuarantineBlob moves an artifact into quarantine by "kind/name" key,
+// booking it as corrupt — the integrity scrubber's entry point when its
+// own verification pass fails a blob.
+func (s *Store) QuarantineBlob(key string) error {
+	kind, name, err := SplitKey(key)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.Corrupt++
+	s.quarantineLocked(kind + "/" + name)
+	return nil
 }
 
 // hit books a verified read.
@@ -514,6 +594,47 @@ func writeEnvelope(w io.Writer, v any) error {
 	}
 	_, err := w.Write(payload.Bytes())
 	return err
+}
+
+// verifyEnvelopeFrame checks an envelope's integrity without decoding
+// the gob payload: magic, length bound, payload CRC, and a complete
+// gzip decompression (the gzip trailer carries a second CRC over the
+// uncompressed bytes).
+func verifyEnvelopeFrame(r io.Reader) error {
+	magic := make([]byte, len(envelopeMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("reading magic: %w", err)
+	}
+	if string(magic) != envelopeMagic {
+		return fmt.Errorf("bad magic %q", magic)
+	}
+	var crc uint32
+	if err := binary.Read(r, binary.LittleEndian, &crc); err != nil {
+		return fmt.Errorf("reading checksum: %w", err)
+	}
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return fmt.Errorf("reading length: %w", err)
+	}
+	if n == 0 || n > maxPayload {
+		return fmt.Errorf("implausible payload length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("reading payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != crc {
+		return fmt.Errorf("checksum mismatch: file %08x, computed %08x", crc, got)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer zr.Close()
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return fmt.Errorf("decompressing payload: %w", err)
+	}
+	return nil
 }
 
 // readEnvelope verifies the frame and decodes the payload into v.
@@ -664,6 +785,36 @@ func (s *Store) Checkpoint(prefixHash string) (data []byte, hour int, ok bool) {
 	return data, hour, true
 }
 
+// SpecManifest records, for one completed run, the scenario spec that
+// produced it and the physics-prefix hashes its execution writes
+// warm-start artifacts (records, checkpoints) under. Content hashes
+// cannot be inverted back to specs, so the manifest is the integrity
+// scrubber's repair map: a quarantined result resolves to its spec by
+// hash, a quarantined record or checkpoint by scanning manifests'
+// prefix hashes, and re-running the spec regenerates the artifact
+// bit-identically.
+type SpecManifest struct {
+	// Spec is the canonical JSON encoding of the scenario.Spec, kept as
+	// raw bytes so the store stays independent of the scenario package.
+	Spec []byte
+	// PrefixHashes are the physics-prefix boundary hashes of the spec.
+	PrefixHashes []string
+}
+
+// PutManifest stores a run's repair manifest under its scenario hash.
+func (s *Store) PutManifest(specHash string, m *SpecManifest) error {
+	return s.putEnveloped(kindSpec, specHash, ".spec", m)
+}
+
+// GetManifest returns the repair manifest for a scenario hash.
+func (s *Store) GetManifest(specHash string) (*SpecManifest, bool) {
+	var m SpecManifest
+	if !s.getEnveloped(kindSpec, specHash, ".spec", &m) {
+		return nil, false
+	}
+	return &m, true
+}
+
 // SRMatrixKey is the blob key of a stored source–receptor matrix, the
 // form Pin and the blob listing expect.
 func SRMatrixKey(matrixKey string) string {
@@ -703,6 +854,10 @@ func (s *Store) PutBlob(key string, data []byte) error {
 
 // GetBlob returns an artifact's raw bytes by "kind/name" key. A missing
 // blob reports fs.ErrNotExist; ErrDegraded while the breaker is open.
+// Under SetVerifyReads the bytes are re-verified (framing + checksums)
+// before being served; a blob failing that check is quarantined and
+// reported as missing, so a coordinator can never hand a fleet worker
+// bytes that rotted after their original write.
 func (s *Store) GetBlob(key string) ([]byte, error) {
 	kind, name, err := SplitKey(key)
 	if err != nil {
@@ -716,8 +871,38 @@ func (s *Store) GetBlob(key string) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("store: %s: %w", rel, fs.ErrNotExist)
 	}
+	if s.verifyReads.Load() {
+		if err := VerifyBlob(rel, data); err != nil {
+			s.ioFailure()
+			s.corrupt(rel)
+			return nil, fmt.Errorf("store: %s: %w", rel, fs.ErrNotExist)
+		}
+	}
 	s.hit()
 	return data, nil
+}
+
+// VerifyBlob checks data's integrity for its artifact kind without
+// knowing the payload's Go type: checkpoints verify through the hourio
+// snapshot format (magic, dimensions, trailing CRC), every other kind
+// through the envelope frame (magic, length, payload CRC) plus a full
+// gzip decompression, whose stream carries its own trailing checksum.
+// A nil return means every checksum on the blob's bytes holds.
+func VerifyBlob(key string, data []byte) error {
+	kind, _, err := SplitKey(key)
+	if err != nil {
+		return err
+	}
+	if kind == kindCheckpoint {
+		if _, _, _, _, _, _, err := hourio.ReadSnapshot(bytes.NewReader(data)); err != nil {
+			return resilience.MarkCorrupt(fmt.Errorf("store: %s: %w", key, err))
+		}
+		return nil
+	}
+	if err := verifyEnvelopeFrame(bytes.NewReader(data)); err != nil {
+		return resilience.MarkCorrupt(fmt.Errorf("store: %s: %w", key, err))
+	}
+	return nil
 }
 
 // DeleteBlob removes an artifact by "kind/name" key.

@@ -231,17 +231,21 @@ type PolicyRow struct {
 
 // JobView is the live view of one sweep job.
 type JobView struct {
-	Spec          scenario.Spec `json:"spec"`
-	JobID         string        `json:"job_id,omitempty"`
-	State         string        `json:"state"`
-	Error         string        `json:"error,omitempty"`
-	Cached        bool          `json:"cached,omitempty"`
-	FromStore     bool          `json:"from_store,omitempty"`
-	WarmStartHour int           `json:"warm_start_hour,omitempty"`
-	PhysicsReplay bool          `json:"physics_replay,omitempty"`
-	PeakO3        float64       `json:"peak_o3,omitempty"`
-	VirtualSecs   float64       `json:"virtual_seconds,omitempty"`
-	WallSecs      float64       `json:"wall_seconds,omitempty"`
+	Spec  scenario.Spec `json:"spec"`
+	JobID string        `json:"job_id,omitempty"`
+	State string        `json:"state"`
+	Error string        `json:"error,omitempty"`
+	// FailureKind classifies integrity failures: "physics" for a
+	// sentinel trip (*core.PhysicsError), "watchdog" for a stuck-hour
+	// cancellation (*sched.WatchdogError). Empty otherwise.
+	FailureKind   string  `json:"failure_kind,omitempty"`
+	Cached        bool    `json:"cached,omitempty"`
+	FromStore     bool    `json:"from_store,omitempty"`
+	WarmStartHour int     `json:"warm_start_hour,omitempty"`
+	PhysicsReplay bool    `json:"physics_replay,omitempty"`
+	PeakO3        float64 `json:"peak_o3,omitempty"`
+	VirtualSecs   float64 `json:"virtual_seconds,omitempty"`
+	WallSecs      float64 `json:"wall_seconds,omitempty"`
 }
 
 // Status is a point-in-time snapshot of one sweep.
@@ -255,6 +259,11 @@ type Status struct {
 	Completed int `json:"completed"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+
+	// Integrity outcomes among the failures: sentinel trips and
+	// watchdog cancellations (both permanent — no retries burned).
+	PhysicsFailures int `json:"physics_failures,omitempty"`
+	WatchdogCancels int `json:"watchdog_cancels,omitempty"`
 
 	// Warm-start economics of the sweep's jobs.
 	CacheHits      int `json:"cache_hits"`
@@ -583,6 +592,16 @@ func (e *Engine) snapshot(st *sweepState) Status {
 			jv.WallSecs = js.WallSeconds
 			if js.Err != nil {
 				jv.Error = js.Err.Error()
+				var pe *core.PhysicsError
+				var we *sched.WatchdogError
+				switch {
+				case errors.As(js.Err, &pe):
+					jv.FailureKind = "physics"
+					out.PhysicsFailures++
+				case errors.As(js.Err, &we):
+					jv.FailureKind = "watchdog"
+					out.WatchdogCancels++
+				}
 			}
 			if js.Result != nil {
 				jv.PeakO3 = js.Result.PeakO3
